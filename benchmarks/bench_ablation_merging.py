@@ -1,0 +1,74 @@
+"""Ablation — §5.1 blocks merging on vs off.
+
+The paper's blocks-merging optimization shrinks the number of subtasks
+(and TCP connections): blocks sharing a (source, destination) pair become
+one unit of work. The ablation measures the controller's decision runtime
+and directive (connection) count with merging enabled and disabled.
+"""
+
+import time
+
+from repro.analysis.reporting import format_table
+from repro.core import BDSController
+from repro.core.routing import BDSRouter
+from repro.core.scheduling import RarestFirstScheduler
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+def _snapshot():
+    topo = Topology.full_mesh(
+        num_dcs=4, servers_per_dc=4, wan_capacity=1 * GB, uplink=20 * MBps
+    )
+    job = MulticastJob(
+        job_id="j",
+        src_dc="dc0",
+        dst_dcs=("dc1", "dc2", "dc3"),
+        total_bytes=512 * MB,
+        block_size=2 * MB,
+    )
+    job.bind(topo)
+    sim = Simulation(topo, [job], BDSController(seed=0), SimConfig())
+    view = sim.snapshot_view()
+    return view, RarestFirstScheduler().select(view)
+
+
+def _run_both():
+    view, selections = _snapshot()
+    out = {}
+    for merge in (True, False):
+        router = BDSRouter(merge_blocks=merge)
+        started = time.perf_counter()
+        directives, diag = router.route(view, selections)
+        out[merge] = (
+            time.perf_counter() - started,
+            len(directives),
+            diag.num_commodities,
+        )
+    return out
+
+
+def test_ablation_blocks_merging(benchmark, report):
+    out = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    rows = [
+        [
+            "merged" if merge else "unmerged",
+            f"{t * 1000:.1f}ms",
+            directives,
+            commodities,
+        ]
+        for merge, (t, directives, commodities) in out.items()
+    ]
+    report(
+        "\n[Ablation] Blocks merging (768 pending block deliveries)\n"
+        + format_table(
+            ["mode", "decision time", "directives", "commodities"], rows
+        )
+    )
+    merged_time, merged_dirs, merged_coms = out[True]
+    unmerged_time, unmerged_dirs, unmerged_coms = out[False]
+    assert merged_coms < unmerged_coms
+    assert merged_dirs < unmerged_dirs
+    assert merged_time < unmerged_time

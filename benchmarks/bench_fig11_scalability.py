@@ -1,0 +1,73 @@
+"""Fig. 11 — scalability of the centralized control plane.
+
+Paper: (a) the controller updates decisions for 10^6 blocks within 800 ms
+(3x10^5 — Baidu's peak — within 300 ms); (b) 90 % of inter-DC control
+delays are below 50 ms, mean ~25 ms; (c) over 80 % of feedback loops
+complete within 200 ms. The controller here is pure Python, so absolute
+runtimes are larger; the *flat-vs-block-count shape* and the delay CDFs
+are the reproduction targets.
+"""
+
+import statistics
+
+from repro.analysis.experiments import (
+    exp_fig11a_controller_runtime,
+    exp_fig11bc_delays,
+)
+from repro.analysis.metrics import cdf_at, percentile
+from repro.analysis.reporting import format_series, format_table
+
+
+def test_fig11a_controller_runtime(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig11a_controller_runtime(
+            block_counts=(1000, 5000, 10_000, 50_000, 100_000), seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    from repro.analysis.plots import ascii_xy
+
+    report(
+        "\n[Fig. 11a] Controller running time vs outstanding blocks\n"
+        + format_series(
+            result.block_counts,
+            [round(t * 1000, 1) for t in result.runtimes_s],
+            "# blocks",
+            "runtime (ms)",
+        )
+        + "\n"
+        + ascii_xy(
+            [float(c) for c in result.block_counts],
+            [t * 1000 for t in result.runtimes_s],
+            x_label="# blocks",
+            y_label="runtime (ms)",
+            log_x=True,
+        )
+    )
+    # Near-linear growth (the paper's curve is ~linear in block count):
+    # 100x blocks may cost ~100x time plus a log factor, never ~100^2.
+    ratio = result.runtimes_s[-1] / max(result.runtimes_s[0], 1e-9)
+    scale = result.block_counts[-1] / result.block_counts[0]
+    assert ratio < scale * 3
+
+
+def test_fig11bc_control_plane_delays(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig11bc_delays(num_requests=5000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    net = result.network_delays_s
+    loop = result.feedback_delays_s
+    rows = [
+        ["network delay mean", f"{statistics.mean(net) * 1000:.1f}ms", "~25ms"],
+        ["network delay < 50ms", f"{cdf_at(net, 0.050):.0%}", "90%"],
+        ["feedback loop p80", f"{percentile(loop, 80) * 1000:.0f}ms", "<200ms"],
+    ]
+    report(
+        "\n[Fig. 11b/11c] Control-plane delay CDFs\n"
+        + format_table(["metric", "measured", "paper"], rows)
+    )
+    assert cdf_at(net, 0.050) > 0.75
+    assert percentile(loop, 80) < 0.3

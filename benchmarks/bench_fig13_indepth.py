@@ -1,0 +1,82 @@
+"""Fig. 13 — in-depth analysis of the decoupled control logic.
+
+Paper: (a) BDS's decoupled algorithm stays below 25 ms while the standard
+joint LP climbs to seconds by 4000 blocks; (b) BDS's completion time
+matches the standard LP at small scale (near-optimality); (c) for ~90 % of
+servers, at most 20 % of blocks come from the origin DC — the overlay
+carries over 80 % of the bytes.
+"""
+
+from repro.analysis.experiments import (
+    exp_fig13a_runtime_comparison,
+    exp_fig13b_near_optimality,
+    exp_fig13c_origin_fraction,
+)
+from repro.analysis.metrics import cdf_at
+from repro.analysis.reporting import format_cdf_rows, format_table
+
+
+def test_fig13a_runtime_bds_vs_standard_lp(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig13a_runtime_comparison(
+            block_counts=(200, 400, 800, 1600, 3200), seed=13
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [n, f"{b * 1000:.1f}ms", f"{s * 1000:.1f}ms", f"{s / max(b, 1e-9):.0f}x"]
+        for n, b, s in zip(
+            result.block_counts,
+            result.bds_runtimes_s,
+            result.standard_lp_runtimes_s,
+        )
+    ]
+    report(
+        "\n[Fig. 13a] Decision runtime: BDS (decoupled) vs standard LP\n"
+        + format_table(["# blocks", "bds", "standard LP", "gap"], rows)
+    )
+    # The joint LP is consistently several times slower at every size, and
+    # its absolute cost grows steeply with block count (the paper's point).
+    for bds_t, lp_t in zip(result.bds_runtimes_s, result.standard_lp_runtimes_s):
+        assert lp_t > bds_t * 2
+    assert result.standard_lp_runtimes_s[-1] > result.bds_runtimes_s[-1] * 5
+    lp_growth = (
+        result.standard_lp_runtimes_s[-1] / result.standard_lp_runtimes_s[0]
+    )
+    assert lp_growth > 5
+
+
+def test_fig13b_near_optimality(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig13b_near_optimality(block_counts=(50, 100, 200), seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [n, f"{b:.0f}s", f"{s:.0f}s", f"{b / s:.2f}"]
+        for n, b, s in zip(
+            result.block_counts, result.bds_times_s, result.standard_lp_times_s
+        )
+    ]
+    report(
+        "\n[Fig. 13b] Completion time: BDS vs standard LP (2 DCs, 4 servers)\n"
+        + format_table(["# blocks", "bds", "standard LP", "ratio"], rows)
+        + "\n  paper: the two curves coincide (near-optimality)"
+    )
+    for b, s in zip(result.bds_times_s, result.standard_lp_times_s):
+        assert b <= s * 1.5 + 3.0  # within a cycle or two of the LP plan
+
+
+def test_fig13c_origin_fraction(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig13c_origin_fraction(seed=13), rounds=1, iterations=1
+    )
+    report(
+        "\n[Fig. 13c] Per-server fraction of blocks fetched from the origin DC\n"
+        + format_cdf_rows(result.origin_fractions)
+        + f"\n  servers fetching <=20% from origin: "
+        + f"{result.fraction_servers_below_20pct:.0%} (paper ~90%)"
+    )
+    assert result.fraction_servers_below_20pct > 0.5
+    assert cdf_at(result.origin_fractions, 0.5) > 0.8

@@ -1,0 +1,34 @@
+"""Fig. 2 — workload CDFs: destination fan-out (2a) and transfer size (2b).
+
+Paper anchors: 90 % of multicasts target >= 60 % of DCs and 70 % target
+over 80 % (2a); 60 % of transfers exceed 1 TB and 90 % exceed 50 GB (2b).
+"""
+
+from repro.analysis.experiments import exp_workload_characterization
+from repro.analysis.metrics import fraction_above
+from repro.analysis.reporting import format_cdf_rows
+from repro.utils.units import GB, TB
+
+
+def test_fig2_workload_cdfs(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: exp_workload_characterization(num_requests=1265, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    frac_60 = fraction_above(result.destination_fractions, 0.599)
+    frac_80 = fraction_above(result.destination_fractions, 0.80)
+    over_1tb = fraction_above(result.sizes_bytes, 1 * TB)
+    over_50gb = fraction_above(result.sizes_bytes, 50 * GB)
+    report(
+        "\n[Fig. 2a] Fraction of DCs targeted per multicast (CDF)\n"
+        + format_cdf_rows(result.destination_fractions)
+        + f"\n  >=60% of DCs: measured {frac_60:.0%} (paper 90%)"
+        + f"\n  > 80% of DCs: measured {frac_80:.0%} (paper 70%)"
+        + "\n\n[Fig. 2b] Transfer sizes (CDF, bytes)\n"
+        + format_cdf_rows(result.sizes_bytes)
+        + f"\n  > 1TB : measured {over_1tb:.0%} (paper 60%)"
+        + f"\n  > 50GB: measured {over_50gb:.0%} (paper 90%)"
+    )
+    assert frac_60 > 0.8
+    assert over_1tb > 0.5

@@ -1,0 +1,59 @@
+"""Fig. 9 — BDS vs Gingko, the pilot-deployment headline result.
+
+Paper: (a) median per-server completion 35 min for BDS vs ~190 min for
+Gingko (~5x); (b) BDS wins across large/medium/small applications with
+lower variance, with larger gains on larger transfers; (c) a consistent
+~4x gap across days. The reproduction scales the 70 TB / 10-DC transfer
+down (see EXPERIMENTS.md) and reproduces the ordering and multi-x gap.
+"""
+
+import statistics
+
+from repro.analysis.experiments import exp_fig9_bds_vs_gingko
+from repro.analysis.plots import ascii_cdf
+from repro.analysis.reporting import format_cdf_rows, format_table
+
+
+def test_fig9_bds_vs_gingko(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: exp_fig9_bds_vs_gingko(seed=9), rounds=1, iterations=1
+    )
+    lines = [
+        "\n[Fig. 9a] Per-server completion time CDF (seconds)",
+        "-- Gingko --",
+        format_cdf_rows(result.gingko_server_times, unit="s"),
+        "-- BDS --",
+        format_cdf_rows(result.bds_server_times, unit="s"),
+        f"  median speedup: {result.median_speedup:.1f}x (paper ~5x)",
+        ascii_cdf(
+            {
+                "gingko": result.gingko_server_times,
+                "bds": result.bds_server_times,
+            },
+            x_label="completion (s)",
+        ),
+        "\n[Fig. 9b] Mean completion by application size (seconds)",
+    ]
+    rows = []
+    for app in ("large", "medium", "small"):
+        gm, gs = result.by_app[app]["gingko"]
+        bm, bs = result.by_app[app]["bds"]
+        rows.append(
+            [app, f"{gm:.0f} ± {gs:.0f}", f"{bm:.0f} ± {bs:.0f}", f"{gm / bm:.1f}x"]
+        )
+    lines.append(format_table(["app", "gingko", "bds", "speedup"], rows))
+    lines.append("\n[Fig. 9c] Completion time per day (seconds)")
+    day_rows = [
+        [day, f"{g:.0f}", f"{b:.0f}", f"{g / b:.1f}x"]
+        for day, (g, b) in enumerate(
+            zip(result.timeseries["gingko"], result.timeseries["bds"])
+        )
+    ]
+    lines.append(format_table(["day", "gingko", "bds", "speedup"], day_rows))
+    report("\n".join(lines))
+
+    assert result.median_speedup > 1.5
+    for app in ("large", "medium"):
+        assert result.by_app[app]["bds"][0] < result.by_app[app]["gingko"][0]
+    for g, b in zip(result.timeseries["gingko"], result.timeseries["bds"]):
+        assert b < g

@@ -1,0 +1,88 @@
+"""Exporting simulation results to JSON for external analysis.
+
+:class:`~repro.net.simulator.SimResult` holds live objects (the possession
+index, cycle stats); this module flattens the analysis-relevant parts into
+plain JSON so results can be archived, diffed across runs, or loaded into
+other tools. Resource keys are rendered as ``kind:part:part`` strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.net.simulator import SimResult
+
+PathLike = Union[str, Path]
+
+EXPORT_FORMAT_VERSION = 1
+
+
+def _resource_to_str(key) -> str:
+    return ":".join(str(part) for part in key)
+
+
+def result_to_dict(result: SimResult, include_cycles: bool = True) -> Dict[str, Any]:
+    """Flatten a :class:`SimResult` into JSON-serializable primitives."""
+    payload: Dict[str, Any] = {
+        "format_version": EXPORT_FORMAT_VERSION,
+        "cycles_run": result.cycles_run,
+        "sim_time": result.sim_time,
+        "wall_time": result.wall_time,
+        "all_complete": result.all_complete,
+        "job_completion": dict(result.job_completion),
+        "dc_completion": {
+            f"{job}/{dc}": t for (job, dc), t in result.dc_completion.items()
+        },
+        "server_completion": {
+            f"{job}/{server}": t
+            for (job, server), t in result.server_completion.items()
+        },
+        "origin_fraction_by_server": result.store.origin_fraction_by_server(),
+        "total_bytes_transferred": result.total_bytes_transferred(),
+    }
+    if include_cycles:
+        payload["cycles"] = [
+            {
+                "cycle": s.cycle,
+                "time": s.time,
+                "blocks_delivered": s.blocks_delivered,
+                "bytes_transferred": s.bytes_transferred,
+                "active_flows": s.active_flows,
+                "controller_available": s.controller_available,
+                "link_bulk_usage": {
+                    _resource_to_str(k): v for k, v in s.link_bulk_usage.items()
+                },
+                "link_online_usage": {
+                    _resource_to_str(k): v
+                    for k, v in s.link_online_usage.items()
+                },
+                "max_delay_inflation": s.max_delay_inflation,
+            }
+            for s in result.cycle_stats
+        ]
+    return payload
+
+
+def save_result(
+    result: SimResult, path: PathLike, include_cycles: bool = True
+) -> None:
+    """Write a result export to ``path`` as pretty-printed JSON."""
+    payload = result_to_dict(result, include_cycles=include_cycles)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_result_dict(path: PathLike) -> Dict[str, Any]:
+    """Read a result export back as a dictionary (not a live SimResult)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != EXPORT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported export format version {version!r} "
+            f"(expected {EXPORT_FORMAT_VERSION})"
+        )
+    return payload

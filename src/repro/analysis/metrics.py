@@ -1,0 +1,86 @@
+"""Summary statistics and empirical CDFs used across the evaluation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary`; raises on empty input."""
+    if not len(values):
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100])."""
+    if not len(values):
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Sorted values and their cumulative probabilities.
+
+    Returns ``(xs, ps)`` with ``ps[i] = (i + 1) / n`` — the standard
+    right-continuous empirical CDF, directly plottable as the paper's CDFs.
+    """
+    if not len(values):
+        raise ValueError("cannot build a CDF from an empty sample")
+    xs = sorted(float(v) for v in values)
+    n = len(xs)
+    ps = [(i + 1) / n for i in range(n)]
+    return xs, ps
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of the sample <= x."""
+    if not len(values):
+        raise ValueError("empty sample")
+    arr = np.asarray(values, dtype=float)
+    return float((arr <= x).mean())
+
+
+def fraction_above(values: Sequence[float], x: float) -> float:
+    """Fraction of the sample strictly greater than x."""
+    if not len(values):
+        raise ValueError("empty sample")
+    arr = np.asarray(values, dtype=float)
+    return float((arr > x).mean())
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``."""
+    if improved <= 0:
+        raise ValueError("improved time must be > 0")
+    return baseline / improved

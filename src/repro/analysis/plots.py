@@ -1,0 +1,150 @@
+"""Plain-text figure rendering.
+
+No plotting libraries are available offline, so the benchmark harness
+renders the paper's figures as compact ASCII charts: CDF curves
+(:func:`ascii_cdf`), x-y series (:func:`ascii_xy`), and grouped bars
+(:func:`ascii_bars`). The goal is shape legibility in a terminal — axes
+are labeled with min/max, points are interpolated onto a character grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import empirical_cdf
+
+
+def _grid(width: int, height: int) -> List[List[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(
+    grid: List[List[str]],
+    x_label: str,
+    y_label: str,
+    x_range: Tuple[float, float],
+    y_range: Tuple[float, float],
+) -> str:
+    height = len(grid)
+    lines = []
+    for r, row in enumerate(grid):
+        prefix = ""
+        if r == 0:
+            prefix = f"{y_range[1]:>10.3g} |"
+        elif r == height - 1:
+            prefix = f"{y_range[0]:>10.3g} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    width = len(grid[0])
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12
+        + f"{x_range[0]:<.3g}"
+        + " " * max(1, width - 18)
+        + f"{x_range[1]:>.3g}"
+    )
+    lines.append(" " * 12 + f"x: {x_label}   y: {y_label}")
+    return "\n".join(lines)
+
+
+def _plot_points(
+    points: Sequence[Tuple[float, float]],
+    width: int,
+    height: int,
+    marker: str,
+    grid: Optional[List[List[str]]] = None,
+    x_range: Optional[Tuple[float, float]] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> Tuple[List[List[str]], Tuple[float, float], Tuple[float, float]]:
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = (min(xs), max(xs)) if x_range is None else x_range
+    y_lo, y_hi = (min(ys), max(ys)) if y_range is None else y_range
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if grid is None:
+        grid = _grid(width, height)
+    for x, y in points:
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        col = min(max(col, 0), width - 1)
+        row = min(max(row, 0), height - 1)
+        grid[row][col] = marker
+    return grid, (x_lo, x_hi), (y_lo, y_hi)
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    width: int = 56,
+    height: int = 12,
+    x_label: str = "value",
+) -> str:
+    """Render one or more empirical CDFs on a shared grid.
+
+    Each named sample gets its own marker (up to four series). This is the
+    renderer behind the paper's many CDF figures (2, 4, 5, 9a, 11b/c, 13c).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x"
+    all_values = [v for sample in series.values() for v in sample]
+    x_lo, x_hi = min(all_values), max(all_values)
+    grid = None
+    x_range = (x_lo, x_hi)
+    y_range = (0.0, 1.0)
+    legend = []
+    for (name, sample), marker in zip(series.items(), markers):
+        xs, ps = empirical_cdf(sample)
+        points = list(zip(xs, ps))
+        grid, x_range, y_range = _plot_points(
+            points, width, height, marker, grid, x_range, y_range
+        )
+        legend.append(f"{marker} {name}")
+    chart = _render(grid, x_label, "CDF", x_range, y_range)
+    return chart + "\n" + " " * 12 + "   ".join(legend)
+
+
+def ascii_xy(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 56,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render one x-y series (the Fig. 11a / 12c style curves)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        raise ValueError("need at least one point")
+    plot_xs = [math.log10(x) for x in xs] if log_x else list(xs)
+    grid, x_range, y_range = _plot_points(
+        list(zip(plot_xs, ys)), width, height, "*"
+    )
+    if log_x:
+        x_range = (10 ** x_range[0], 10 ** x_range[1])
+        x_label = f"{x_label} (log)"
+    return _render(grid, x_label, y_label, x_range, y_range)
+
+
+def ascii_bars(
+    values: Dict[str, float], width: int = 40, unit: str = ""
+) -> str:
+    """Horizontal bars for categorical comparisons (Table 3 / Fig. 9b)."""
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_width = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        filled = int(round(value / peak * width))
+        bar = "█" * filled
+        lines.append(f"{name:<{label_width}} |{bar:<{width}} {value:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output aligned and readable in
+a terminal (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.metrics import empirical_cdf, percentile
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_cdf_rows(
+    values: Sequence[float],
+    quantiles: Sequence[float] = (10, 25, 50, 75, 90, 95, 99),
+    unit: str = "",
+) -> str:
+    """Render a sample's CDF at chosen percentiles, one row per percentile."""
+    rows = [
+        (f"p{int(q)}", f"{percentile(values, q):.3f}{unit}") for q in quantiles
+    ]
+    return format_table(["percentile", "value"], rows)
+
+
+def format_series(
+    xs: Sequence[object],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    return format_table([x_label, y_label], list(zip(xs, ys)))
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A coarse one-line chart for quick visual inspection of a series."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    step = max(1, len(values) // width)
+    sampled = [values[i] for i in range(0, len(values), step)]
+    return "".join(
+        blocks[int((v - lo) / span * (len(blocks) - 1))] for v in sampled
+    )

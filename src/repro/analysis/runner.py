@@ -1,0 +1,128 @@
+"""Strategy factory and simulation runner shared by experiments and benches."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    AkamaiStrategy,
+    BulletStrategy,
+    ChainStrategy,
+    DirectStrategy,
+    GingkoStrategy,
+    OverlayStrategy,
+)
+from repro.core import BDSConfig, BDSController
+from repro.core.formulation import StandardLPRouter
+from repro.net.background import BackgroundTraffic
+from repro.net.failures import FailureSchedule
+from repro.net.simulator import SimConfig, SimResult, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.rng import SeedLike
+
+STRATEGY_NAMES = (
+    "bds",
+    "bds-fptas",
+    "bds-lp",
+    "bds-standard-lp",
+    "gingko",
+    "bullet",
+    "akamai",
+    "chain",
+    "direct",
+)
+
+
+def make_strategy(
+    name: str, seed: SeedLike = None, config: Optional[BDSConfig] = None
+) -> OverlayStrategy:
+    """Build a fresh strategy by name.
+
+    ``bds`` uses the fast greedy routing backend; ``bds-fptas`` / ``bds-lp``
+    select the Garg–Könemann and exact-LP backends; ``bds-standard-lp``
+    swaps in the non-decoupled joint LP router (the Fig. 13 baseline).
+    """
+    if name == "bds":
+        return BDSController(config=config or BDSConfig(), seed=seed)
+    if name == "bds-fptas":
+        cfg = config or BDSConfig(routing_backend="fptas")
+        return BDSController(config=cfg, seed=seed)
+    if name == "bds-lp":
+        cfg = config or BDSConfig(routing_backend="lp")
+        return BDSController(config=cfg, seed=seed)
+    if name == "bds-standard-lp":
+        controller = BDSController(config=config or BDSConfig(), seed=seed)
+        controller.router = StandardLPRouter()
+        return controller
+    if name == "gingko":
+        return GingkoStrategy(seed=seed)
+    if name == "bullet":
+        return BulletStrategy(seed=seed)
+    if name == "akamai":
+        return AkamaiStrategy()
+    if name == "chain":
+        return ChainStrategy()
+    if name == "direct":
+        return DirectStrategy()
+    raise ValueError(f"unknown strategy {name!r}; choose from {STRATEGY_NAMES}")
+
+
+def run_simulation(
+    topology: Topology,
+    jobs: Sequence[MulticastJob],
+    strategy_name: str,
+    cycle_seconds: float = 3.0,
+    max_cycles: int = 100_000,
+    seed: SeedLike = None,
+    background: Optional[BackgroundTraffic] = None,
+    failures: Optional[FailureSchedule] = None,
+    record_link_stats: bool = False,
+    config: Optional[BDSConfig] = None,
+    safety_threshold: float = 0.8,
+) -> SimResult:
+    """Run one strategy over the given jobs and return the result."""
+    strategy = make_strategy(strategy_name, seed=seed, config=config)
+    sim = Simulation(
+        topology=topology,
+        jobs=list(jobs),
+        strategy=strategy,
+        config=SimConfig(
+            cycle_seconds=cycle_seconds,
+            max_cycles=max_cycles,
+            record_link_stats=record_link_stats,
+            safety_threshold=safety_threshold,
+        ),
+        background=background,
+        failures=failures,
+        seed=seed,
+    )
+    return sim.run()
+
+
+def compare_strategies(
+    topology_factory: Callable[[], Topology],
+    jobs_factory: Callable[[Topology], List[MulticastJob]],
+    strategy_names: Sequence[str],
+    cycle_seconds: float = 3.0,
+    max_cycles: int = 100_000,
+    seed: SeedLike = 7,
+) -> Dict[str, SimResult]:
+    """Run several strategies over *fresh* identical topologies and jobs.
+
+    Factories are invoked per strategy so that no simulation state (job
+    binding, strategy caches) leaks between runs.
+    """
+    results: Dict[str, SimResult] = {}
+    for name in strategy_names:
+        topology = topology_factory()
+        jobs = jobs_factory(topology)
+        results[name] = run_simulation(
+            topology,
+            jobs,
+            name,
+            cycle_seconds=cycle_seconds,
+            max_cycles=max_cycles,
+            seed=seed,
+        )
+    return results

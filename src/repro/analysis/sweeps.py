@@ -1,0 +1,125 @@
+"""Parameter sweeps: completion time as a function of one scenario knob.
+
+The paper's evaluation sweeps block size and cycle length (Fig. 12b/12c);
+downstream users additionally want capacity planning: *how much WAN/NIC
+bandwidth or how many servers does a replication deadline require?* This
+module provides a small declarative sweep harness reused by the Fig. 12
+experiments, the ablations, and the capacity-planning example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.runner import run_simulation
+from repro.net.simulator import SimResult
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class SweepPoint:
+    """One sweep sample: the knob value and the resulting metrics."""
+
+    value: float
+    completion_time: float
+    cycles: int
+    all_complete: bool
+
+
+@dataclass
+class SweepResult:
+    """All samples of one sweep, in the order they were run."""
+
+    knob: str
+    strategy: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def values(self) -> List[float]:
+        return [p.value for p in self.points]
+
+    def completion_times(self) -> List[float]:
+        return [p.completion_time for p in self.points]
+
+    def cheapest_meeting_deadline(self, deadline_s: float) -> Optional[SweepPoint]:
+        """The smallest knob value whose run met the deadline.
+
+        Assumes the sweep was run in ascending knob order and that larger
+        values don't hurt (monotone capacity knobs); returns ``None`` when
+        no sampled value meets the deadline.
+        """
+        for point in self.points:
+            if point.all_complete and point.completion_time <= deadline_s:
+                return point
+        return None
+
+
+ScenarioFactory = Callable[[float], Tuple[Topology, List[MulticastJob]]]
+
+
+def sweep(
+    knob: str,
+    values: Sequence[float],
+    scenario: ScenarioFactory,
+    strategy: str = "bds",
+    cycle_seconds: float = 3.0,
+    max_cycles: int = 100_000,
+    seed: SeedLike = 0,
+) -> SweepResult:
+    """Run ``scenario(value)`` for every knob value and collect metrics.
+
+    ``scenario`` builds a *fresh* topology and bound job list per value —
+    sharing state between runs is the classic sweep bug, so the factory
+    contract makes it impossible.
+    """
+    if not values:
+        raise ValueError("sweep needs at least one value")
+    result = SweepResult(knob=knob, strategy=strategy)
+    for value in values:
+        topo, jobs = scenario(float(value))
+        if not jobs:
+            raise ValueError(f"scenario produced no jobs for {knob}={value}")
+        run = run_simulation(
+            topo,
+            jobs,
+            strategy,
+            cycle_seconds=cycle_seconds,
+            max_cycles=max_cycles,
+            seed=seed,
+        )
+        completion = (
+            max(run.job_completion.values()) if run.all_complete else float("inf")
+        )
+        result.points.append(
+            SweepPoint(
+                value=float(value),
+                completion_time=completion,
+                cycles=run.cycles_run,
+                all_complete=run.all_complete,
+            )
+        )
+    return result
+
+
+def compare_sweeps(
+    knob: str,
+    values: Sequence[float],
+    scenario: ScenarioFactory,
+    strategies: Sequence[str],
+    seed: SeedLike = 0,
+    cycle_seconds: float = 3.0,
+) -> Dict[str, SweepResult]:
+    """The same sweep under several strategies (for crossover hunting)."""
+    return {
+        strategy: sweep(
+            knob,
+            values,
+            scenario,
+            strategy=strategy,
+            seed=seed,
+            cycle_seconds=cycle_seconds,
+        )
+        for strategy in strategies
+    }

@@ -1,0 +1,33 @@
+"""Overlay multicast strategies the paper compares BDS against (§6.1).
+
+* :class:`GingkoStrategy` — Baidu's existing receiver-driven decentralized
+  overlay (limited local views, random source selection).
+* :class:`BulletStrategy` — Bullet's overlay mesh with RanSub-style random
+  subsets and disjoint data from multiple senders.
+* :class:`AkamaiStrategy` — Akamai's 3-layer overlay (source → reflectors →
+  edge sinks, in-order dissemination).
+* :class:`ChainStrategy` — simple chain replication through a relay server
+  (Fig. 3c).
+* :class:`DirectStrategy` — no overlay: unicast from the source DC to every
+  destination DC (Fig. 3b).
+* :mod:`repro.baselines.ideal` — analytic lower bounds on completion time.
+"""
+
+from repro.baselines.base import OverlayStrategy
+from repro.baselines.gingko import GingkoStrategy
+from repro.baselines.bullet import BulletStrategy
+from repro.baselines.akamai import AkamaiStrategy
+from repro.baselines.chain import ChainStrategy
+from repro.baselines.direct import DirectStrategy
+from repro.baselines.ideal import ideal_completion_time, ideal_server_time
+
+__all__ = [
+    "OverlayStrategy",
+    "GingkoStrategy",
+    "BulletStrategy",
+    "AkamaiStrategy",
+    "ChainStrategy",
+    "DirectStrategy",
+    "ideal_completion_time",
+    "ideal_server_time",
+]

@@ -1,0 +1,151 @@
+"""Akamai-style 3-layer overlay multicast (Andreev et al., SPAA'13).
+
+Akamai's design for live streams uses a fixed 3-layer topology: the
+*source* forwards data to a small set of *reflectors*, and reflectors send
+outgoing streams to the *edge sinks*. The paper's §7 notes the two contrasts
+with BDS reproduced here:
+
+* the coarse 3-layer structure explores far fewer overlay paths than BDS's
+  unconstrained server-level mesh;
+* data delivery is **in order** (a live-streaming requirement), so a slow
+  early block delays everything behind it.
+
+Our mapping: one reflector server is designated in each destination DC;
+the source DC streams the file to reflectors in block order; every edge
+(destination) server then pulls its shard from its DC's reflector, again in
+block order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import OverlayStrategy
+from repro.net.simulator import ClusterView, TransferDirective
+from repro.overlay.blocks import Block
+from repro.overlay.job import MulticastJob
+from repro.utils.validation import check_positive
+
+
+class AkamaiStrategy(OverlayStrategy):
+    """Fixed source → reflector → edge dissemination with in-order blocks."""
+
+    uses_controller_rates = False
+    respects_safety_threshold = False
+
+    def __init__(
+        self,
+        reflectors_per_dc: int = 1,
+        window: int = 16,
+    ) -> None:
+        """
+        ``reflectors_per_dc``: reflector servers designated per destination
+        DC. ``window``: in-order window — how many of the earliest missing
+        blocks may be in flight to one receiver at once (streaming forces
+        near-sequential delivery).
+        """
+        check_positive("reflectors_per_dc", reflectors_per_dc)
+        check_positive("window", window)
+        self.reflectors_per_dc = reflectors_per_dc
+        self.window = window
+        # job_id -> dc -> reflector server ids.
+        self._reflectors: Dict[str, Dict[str, List[str]]] = {}
+
+    def _reflectors_for(
+        self, view: ClusterView, job: MulticastJob
+    ) -> Dict[str, List[str]]:
+        if job.job_id not in self._reflectors:
+            chosen: Dict[str, List[str]] = {}
+            for dc in job.dst_dcs:
+                servers = view.topology.servers_in(dc)
+                chosen[dc] = [
+                    s.server_id for s in servers[: self.reflectors_per_dc]
+                ]
+            self._reflectors[job.job_id] = chosen
+        return self._reflectors[job.job_id]
+
+    def decide(self, view: ClusterView) -> List[TransferDirective]:
+        directives: List[TransferDirective] = []
+        for job in view.jobs:
+            reflectors = self._reflectors_for(view, job)
+            directives.extend(self._source_to_reflectors(view, job, reflectors))
+            directives.extend(self._reflectors_to_edges(view, job, reflectors))
+        return directives
+
+    def _source_to_reflectors(
+        self,
+        view: ClusterView,
+        job: MulticastJob,
+        reflectors: Dict[str, List[str]],
+    ) -> List[TransferDirective]:
+        """Layer 1: stream blocks, in order, from source DC to reflectors."""
+        directives: List[TransferDirective] = []
+        for dc, dc_reflectors in reflectors.items():
+            for i, reflector in enumerate(dc_reflectors):
+                if not view.agent_is_up(reflector):
+                    continue
+                # Reflector i of a DC carries the i-th stripe of blocks.
+                wanted = [
+                    b
+                    for b in job.blocks
+                    if b.index % len(dc_reflectors) == i
+                    and not view.store.has(reflector, b.block_id)
+                ]
+                window = wanted[: self.window]
+                partition: Dict[str, List[Block]] = {}
+                for block in window:
+                    src = self._origin_holder(view, job, block, reflector)
+                    if src is None:
+                        continue
+                    partition.setdefault(src, []).append(block)
+                directives.extend(
+                    self.directives_for_partition(job, reflector, partition)
+                )
+        return directives
+
+    def _reflectors_to_edges(
+        self,
+        view: ClusterView,
+        job: MulticastJob,
+        reflectors: Dict[str, List[str]],
+    ) -> List[TransferDirective]:
+        """Layer 2: edge servers pull their shard from their DC's reflector."""
+        directives: List[TransferDirective] = []
+        by_server = self.missing_blocks_by_server(view, job)
+        for dst_server, missing in by_server.items():
+            dc = view.store.dc_of(dst_server)
+            dc_reflectors = reflectors.get(dc, ())
+            if dst_server in dc_reflectors:
+                continue  # the reflector itself is fed by layer 1
+            partition: Dict[str, List[Block]] = {}
+            for block in sorted(missing)[: self.window]:
+                src = self._reflector_holder(view, block, dc_reflectors)
+                if src is None or src == dst_server:
+                    continue
+                partition.setdefault(src, []).append(block)
+            directives.extend(
+                self.directives_for_partition(job, dst_server, partition)
+            )
+        return directives
+
+    @staticmethod
+    def _origin_holder(
+        view: ClusterView, job: MulticastJob, block: Block, exclude: str
+    ) -> Optional[str]:
+        """The source-DC server holding ``block`` (layer-1 sender)."""
+        for server in view.eligible_sources(block.block_id):
+            if view.store.dc_of(server) == job.src_dc and server != exclude:
+                return server
+        return None
+
+    @staticmethod
+    def _reflector_holder(
+        view: ClusterView, block: Block, dc_reflectors: List[str]
+    ) -> Optional[str]:
+        """A local reflector that already holds ``block`` (layer-2 sender)."""
+        for reflector in dc_reflectors:
+            if view.agent_is_up(reflector) and view.store.has(
+                reflector, block.block_id
+            ):
+                return reflector
+        return None

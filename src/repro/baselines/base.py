@@ -1,0 +1,72 @@
+"""The strategy interface every overlay scheme implements.
+
+A strategy looks at the per-cycle :class:`~repro.net.simulator.ClusterView`
+and returns :class:`~repro.net.simulator.TransferDirective`s. Two class
+attributes describe how the simulator should treat its flows:
+
+* ``uses_controller_rates`` — the strategy assigns explicit per-flow rates
+  (BDS); otherwise flows contend max-min fairly like ordinary TCP.
+* ``respects_safety_threshold`` — the strategy keeps bulk traffic under the
+  §5.2 safety threshold; decentralized baselines do not, which is exactly
+  what produces the Fig. 6 interference incidents.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Tuple
+
+from repro.net.simulator import ClusterView, TransferDirective
+from repro.overlay.blocks import Block
+from repro.overlay.job import MulticastJob
+
+BlockId = Tuple[str, int]
+
+
+class OverlayStrategy(ABC):
+    """Base class for all overlay multicast strategies."""
+
+    uses_controller_rates: bool = False
+    respects_safety_threshold: bool = False
+
+    @abstractmethod
+    def decide(self, view: ClusterView) -> List[TransferDirective]:
+        """Return this cycle's transfer directives."""
+
+    # -- shared helpers ---------------------------------------------------
+
+    @staticmethod
+    def missing_blocks_by_server(
+        view: ClusterView, job: MulticastJob
+    ) -> Dict[str, List[Block]]:
+        """Per destination server: its still-missing shard blocks.
+
+        Only includes blocks that have at least one healthy holder, so a
+        directive can actually be formed for them.
+        """
+        result: Dict[str, List[Block]] = {}
+        for block, _dc, server in view.pending_deliveries(job):
+            if view.agent_is_up(server) and view.eligible_sources(block.block_id):
+                result.setdefault(server, []).append(block)
+        return result
+
+    @staticmethod
+    def directives_for_partition(
+        job: MulticastJob,
+        dst_server: str,
+        partition: Dict[str, List[Block]],
+    ) -> List[TransferDirective]:
+        """Build one directive per (source, dst_server) from a block split."""
+        directives: List[TransferDirective] = []
+        for src, blocks in partition.items():
+            if not blocks or src == dst_server:
+                continue
+            directives.append(
+                TransferDirective(
+                    job_id=job.job_id,
+                    block_ids=tuple(b.block_id for b in sorted(blocks)),
+                    src_server=src,
+                    dst_server=dst_server,
+                )
+            )
+        return directives

@@ -1,0 +1,128 @@
+"""Bullet: an overlay mesh with RanSub random subsets (Kostic et al., SOSP'03).
+
+Bullet lets geo-distributed nodes self-organize into a mesh: each node
+periodically receives a *random subset* of other nodes (the RanSub
+mechanism) and picks sending peers from it; peers then send **disjoint**
+data, so a receiver never downloads the same block twice. The key contrast
+with BDS (paper §7): decisions remain local, so while the mesh avoids
+duplicate transmission, it still cannot balance global block availability
+or avoid uplink hotspots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.baselines.base import OverlayStrategy
+from repro.net.simulator import ClusterView, TransferDirective
+from repro.overlay.blocks import Block
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_positive
+
+BlockId = Tuple[str, int]
+
+
+class BulletStrategy(OverlayStrategy):
+    """Mesh overlay: RanSub peer sampling + disjoint block partitions."""
+
+    uses_controller_rates = False
+    respects_safety_threshold = False
+
+    def __init__(
+        self,
+        ransub_size: int = 10,
+        num_peers: int = 4,
+        refresh_interval: int = 5,
+        blocks_per_peer: int = 8,
+        seed: SeedLike = None,
+    ) -> None:
+        """
+        ``ransub_size``: size of the random subset delivered per epoch.
+        ``num_peers``: sending peers a node keeps from that subset.
+        ``refresh_interval``: cycles between RanSub epochs.
+        ``blocks_per_peer``: request batch size per sender per cycle.
+        """
+        check_positive("ransub_size", ransub_size)
+        check_positive("num_peers", num_peers)
+        check_positive("refresh_interval", refresh_interval)
+        check_positive("blocks_per_peer", blocks_per_peer)
+        self.ransub_size = ransub_size
+        self.num_peers = num_peers
+        self.refresh_interval = refresh_interval
+        self.blocks_per_peer = blocks_per_peer
+        self._rng = make_rng(seed)
+        # (job_id, receiver) -> current sending peer set.
+        self._peers: Dict[Tuple[str, str], List[str]] = {}
+        self._last_epoch = -1
+
+    def decide(self, view: ClusterView) -> List[TransferDirective]:
+        epoch = view.cycle // self.refresh_interval
+        refresh = epoch != self._last_epoch
+        self._last_epoch = epoch
+
+        directives: List[TransferDirective] = []
+        for job in view.jobs:
+            by_server = self.missing_blocks_by_server(view, job)
+            for dst_server, missing in by_server.items():
+                key = (job.job_id, dst_server)
+                if refresh or key not in self._peers:
+                    self._peers[key] = self._ransub_peers(view, dst_server, missing)
+                partition = self._partition_disjoint(
+                    view, dst_server, missing, self._peers[key]
+                )
+                directives.extend(
+                    self.directives_for_partition(job, dst_server, partition)
+                )
+        return directives
+
+    def _ransub_peers(
+        self, view: ClusterView, dst_server: str, missing: List[Block]
+    ) -> List[str]:
+        """One RanSub epoch: sample a random subset, keep useful peers.
+
+        The subset is drawn from all servers holding at least one missing
+        block (the summary-ticket information RanSub distributes); the node
+        keeps up to ``num_peers`` of them.
+        """
+        holders: Set[str] = set()
+        for block in missing:
+            holders.update(view.eligible_sources(block.block_id))
+        holders.discard(dst_server)
+        candidates = sorted(holders)
+        if not candidates:
+            return []
+        size = min(self.ransub_size, len(candidates))
+        subset_idx = self._rng.choice(len(candidates), size=size, replace=False)
+        subset = [candidates[int(i)] for i in subset_idx]
+        return subset[: self.num_peers]
+
+    def _partition_disjoint(
+        self,
+        view: ClusterView,
+        dst_server: str,
+        missing: List[Block],
+        peers: List[str],
+    ) -> Dict[str, List[Block]]:
+        """Assign each missing block to exactly one peer that holds it.
+
+        Blocks rotate across peers (round-robin over eligible ones) so the
+        data received from different senders is disjoint — Bullet's core
+        mechanism.
+        """
+        partition: Dict[str, List[Block]] = {p: [] for p in peers}
+        if not peers:
+            return {}
+        turn = 0
+        for block in sorted(missing):
+            eligible = [
+                p
+                for p in peers
+                if view.store.has(p, block.block_id)
+                and len(partition[p]) < self.blocks_per_peer
+            ]
+            if not eligible:
+                continue
+            pick = eligible[turn % len(eligible)]
+            partition[pick].append(block)
+            turn += 1
+        return {p: blocks for p, blocks in partition.items() if blocks}

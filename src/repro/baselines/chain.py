@@ -1,0 +1,115 @@
+"""Simple chain replication through relay servers (the Fig. 3c strategy).
+
+Data flows along a fixed chain: source DC → destination DC 1 → destination
+DC 2 → …, with one designated relay server per DC storing and forwarding
+blocks in index order. This is the "naive use of application-level overlay
+paths" the paper contrasts with BDS's intelligent multicast overlay: better
+than direct unicast (it reuses the relay's bandwidth) but unable to use
+multiple bottleneck-disjoint paths at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import OverlayStrategy
+from repro.net.simulator import ClusterView, TransferDirective
+from repro.overlay.blocks import Block
+from repro.overlay.job import MulticastJob
+from repro.utils.validation import check_positive
+
+
+class ChainStrategy(OverlayStrategy):
+    """Store-and-forward down a fixed DC chain via one relay per DC."""
+
+    uses_controller_rates = False
+    respects_safety_threshold = False
+
+    def __init__(self, window: int = 16) -> None:
+        """``window``: in-flight block window per hop (in index order)."""
+        check_positive("window", window)
+        self.window = window
+        self._relays: Dict[str, List[str]] = {}  # job_id -> relay chain
+
+    def _chain_for(self, view: ClusterView, job: MulticastJob) -> List[str]:
+        """Relay servers: source stripe stays put; one relay per dest DC."""
+        if job.job_id not in self._relays:
+            chain: List[str] = []
+            for dc in job.dst_dcs:
+                servers = view.topology.servers_in(dc)
+                chain.append(servers[0].server_id)
+            self._relays[job.job_id] = chain
+        return self._relays[job.job_id]
+
+    def decide(self, view: ClusterView) -> List[TransferDirective]:
+        directives: List[TransferDirective] = []
+        for job in view.jobs:
+            chain = self._chain_for(view, job)
+            directives.extend(self._feed_chain(view, job, chain))
+            directives.extend(self._fan_out_inside_dcs(view, job, chain))
+        return directives
+
+    def _feed_chain(
+        self, view: ClusterView, job: MulticastJob, chain: List[str]
+    ) -> List[TransferDirective]:
+        """Move blocks hop by hop along the relay chain, in order."""
+        directives: List[TransferDirective] = []
+        for hop, relay in enumerate(chain):
+            if not view.agent_is_up(relay):
+                continue
+            missing = [
+                b for b in job.blocks if not view.store.has(relay, b.block_id)
+            ][: self.window]
+            partition: Dict[str, List[Block]] = {}
+            for block in missing:
+                src = self._upstream_holder(view, job, chain, hop, block, relay)
+                if src is None:
+                    continue
+                partition.setdefault(src, []).append(block)
+            directives.extend(self.directives_for_partition(job, relay, partition))
+        return directives
+
+    def _fan_out_inside_dcs(
+        self, view: ClusterView, job: MulticastJob, chain: List[str]
+    ) -> List[TransferDirective]:
+        """Each destination server pulls its shard from its DC's relay."""
+        directives: List[TransferDirective] = []
+        by_server = self.missing_blocks_by_server(view, job)
+        relay_by_dc = {view.store.dc_of(r): r for r in chain}
+        for dst_server, missing in by_server.items():
+            relay = relay_by_dc.get(view.store.dc_of(dst_server))
+            if relay is None or relay == dst_server:
+                continue
+            blocks = [
+                b
+                for b in sorted(missing)
+                if view.store.has(relay, b.block_id)
+            ][: self.window]
+            if not blocks:
+                continue
+            directives.extend(
+                self.directives_for_partition(job, dst_server, {relay: blocks})
+            )
+        return directives
+
+    @staticmethod
+    def _upstream_holder(
+        view: ClusterView,
+        job: MulticastJob,
+        chain: List[str],
+        hop: int,
+        block: Block,
+        exclude: str,
+    ) -> Optional[str]:
+        """The upstream sender for a relay: previous relay, or the origin."""
+        if hop > 0:
+            upstream = chain[hop - 1]
+            if view.agent_is_up(upstream) and view.store.has(
+                upstream, block.block_id
+            ):
+                return upstream
+            return None
+        for server in view.eligible_sources(block.block_id):
+            if view.store.dc_of(server) == job.src_dc and server != exclude:
+                return server
+        return None

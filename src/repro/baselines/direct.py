@@ -1,0 +1,55 @@
+"""Direct replication: no overlay at all (the Fig. 3b strategy).
+
+The source DC unicasts the data separately to every destination DC over the
+network-layer WAN path. Destination servers pull their shard blocks straight
+from the origin holders; copies that already arrived elsewhere are never
+reused. This is the baseline every overlay improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.base import OverlayStrategy
+from repro.net.simulator import ClusterView, TransferDirective
+from repro.overlay.blocks import Block
+from repro.overlay.job import MulticastJob
+from repro.utils.validation import check_positive
+
+
+class DirectStrategy(OverlayStrategy):
+    """Source-DC-only senders; one unicast stream per destination server."""
+
+    uses_controller_rates = False
+    respects_safety_threshold = False
+
+    def __init__(self, window: int = 32) -> None:
+        """``window``: maximum blocks requested per receiver per cycle."""
+        check_positive("window", window)
+        self.window = window
+
+    def decide(self, view: ClusterView) -> List[TransferDirective]:
+        directives: List[TransferDirective] = []
+        for job in view.jobs:
+            by_server = self.missing_blocks_by_server(view, job)
+            for dst_server, missing in by_server.items():
+                partition: Dict[str, List[Block]] = {}
+                for block in sorted(missing)[: self.window]:
+                    src = self._origin_holder(view, job, block)
+                    if src is None or src == dst_server:
+                        continue
+                    partition.setdefault(src, []).append(block)
+                directives.extend(
+                    self.directives_for_partition(job, dst_server, partition)
+                )
+        return directives
+
+    @staticmethod
+    def _origin_holder(
+        view: ClusterView, job: MulticastJob, block: Block
+    ) -> Optional[str]:
+        """Only origin-DC holders count: direct replication reuses nothing."""
+        for server in view.eligible_sources(block.block_id):
+            if view.store.dc_of(server) == job.src_dc:
+                return server
+        return None

@@ -1,0 +1,157 @@
+"""Gingko: Baidu's receiver-driven decentralized overlay (§2.3).
+
+The paper describes Gingko as a "receiver-driven decentralized overlay
+multicast protocol": when DCs request a file, data flows through stages of
+intermediate servers, and each receiver picks its senders *locally*, seeing
+only a subset of the available data sources. Two consequences the paper
+measures, both reproduced here:
+
+* **Limitation 1 — inefficient local adaptation**: each receiver only
+  knows a small, periodically refreshed *neighbor set* of servers, and can
+  only fetch blocks its current neighbors happen to hold. Because a bulk
+  file is striped across many servers, a receiver's neighbors cover only a
+  slice of the blocks it needs; receivers idle waiting for useful
+  neighbors, pile onto the same uplinks, and a long straggler tail forms —
+  the ~4.75× gap from the ideal in Fig. 5.
+* **Limitation 2 — no traffic isolation**: Gingko does not respect the
+  safety threshold, so bursty bulk transfers push links past it (Fig. 6).
+
+Gingko also serves as BDS's decentralized *fallback* when the controller is
+unreachable (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.baselines.base import OverlayStrategy
+from repro.net.simulator import ClusterView, TransferDirective
+from repro.overlay.blocks import Block
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_positive
+
+
+class GingkoStrategy(OverlayStrategy):
+    """Receiver-driven fetching over limited, slowly-refreshing local views."""
+
+    uses_controller_rates = False
+    respects_safety_threshold = False
+
+    def __init__(
+        self,
+        view_size: int = 10,
+        epoch_cycles: int = 5,
+        fetch_parallelism: int = 3,
+        blocks_per_request: int = 8,
+        seed: SeedLike = None,
+    ) -> None:
+        """
+        ``view_size``: neighbors a receiver knows at a time — the paper's
+        "individual servers only see a subset of available data sources".
+        ``epoch_cycles``: cycles between neighbor-set refreshes (gossip is
+        slow relative to the transfer). ``fetch_parallelism``: concurrent
+        senders used per cycle. ``blocks_per_request``: blocks batched per
+        sender per cycle.
+        """
+        check_positive("view_size", view_size)
+        check_positive("epoch_cycles", epoch_cycles)
+        check_positive("fetch_parallelism", fetch_parallelism)
+        check_positive("blocks_per_request", blocks_per_request)
+        self.view_size = view_size
+        self.epoch_cycles = epoch_cycles
+        self.fetch_parallelism = fetch_parallelism
+        self.blocks_per_request = blocks_per_request
+        self._rng = make_rng(seed)
+        # (job_id, receiver) -> neighbor server ids known this epoch.
+        self._neighbors: Dict[Tuple[str, str], List[str]] = {}
+        self._last_epoch = -1
+
+    def decide(self, view: ClusterView) -> List[TransferDirective]:
+        epoch = view.cycle // self.epoch_cycles
+        refresh = epoch != self._last_epoch
+        self._last_epoch = epoch
+
+        directives: List[TransferDirective] = []
+        for job in view.jobs:
+            by_server = self.missing_blocks_by_server(view, job)
+            for dst_server, missing in by_server.items():
+                key = (job.job_id, dst_server)
+                if refresh or key not in self._neighbors:
+                    self._neighbors[key] = self._sample_neighbors(
+                        view, job.job_id, dst_server
+                    )
+                partition = self._fetch_from_neighbors(
+                    view, dst_server, missing, self._neighbors[key]
+                )
+                directives.extend(
+                    self.directives_for_partition(job, dst_server, partition)
+                )
+        return directives
+
+    def _sample_neighbors(
+        self, view: ClusterView, job_id: str, dst_server: str
+    ) -> List[str]:
+        """One epoch's local view: a random sample of servers with data.
+
+        The candidate pool is every healthy server holding at least one
+        block of the job (the receiver hears about data sources through
+        gossip), but the receiver only keeps ``view_size`` of them and is
+        stuck with that choice until the next epoch.
+        """
+        pool: List[str] = []
+        seen = set()
+        for job in view.jobs:
+            if job.job_id != job_id:
+                continue
+            for block in job.blocks:
+                for holder in view.store.holders(block.block_id):
+                    if holder not in seen and holder != dst_server:
+                        if view.agent_is_up(holder):
+                            seen.add(holder)
+                            pool.append(holder)
+        if not pool:
+            return []
+        pool.sort()
+        size = min(self.view_size, len(pool))
+        idx = self._rng.choice(len(pool), size=size, replace=False)
+        return [pool[int(i)] for i in idx]
+
+    def _fetch_from_neighbors(
+        self,
+        view: ClusterView,
+        dst_server: str,
+        missing: List[Block],
+        neighbors: List[str],
+    ) -> Dict[str, List[Block]]:
+        """Request missing blocks that current neighbors actually hold.
+
+        Receivers walk their missing blocks in index order (they do not
+        know global rarity — that is the controller's privilege) and ask
+        the first neighbor holding each block, up to ``fetch_parallelism``
+        senders and ``blocks_per_request`` blocks per sender. Blocks no
+        neighbor holds simply wait for a future epoch — the source of the
+        straggler tail.
+        """
+        partition: Dict[str, List[Block]] = {}
+        for block in sorted(missing):
+            holders = [
+                n
+                for n in neighbors
+                if view.store.has(n, block.block_id) and view.agent_is_up(n)
+            ]
+            if not holders:
+                continue
+            pick = None
+            for holder in holders:
+                if holder in partition:
+                    pick = holder
+                    break
+            if pick is None:
+                if len(partition) >= self.fetch_parallelism:
+                    continue
+                pick = holders[int(self._rng.integers(len(holders)))]
+            bucket = partition.setdefault(pick, [])
+            if len(bucket) >= self.blocks_per_request:
+                continue
+            bucket.append(block)
+        return partition

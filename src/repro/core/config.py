@@ -1,0 +1,51 @@
+"""Configuration for the BDS controller.
+
+Defaults follow §5.4: 2 MB blocks, 3-second update cycles, 80 % safety
+threshold (20 % of every link reserved for latency-sensitive traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.overlay.blocks import DEFAULT_BLOCK_SIZE
+from repro.utils.validation import check_fraction, check_positive
+
+ROUTING_BACKENDS = ("fptas", "lp", "greedy")
+
+
+@dataclass
+class BDSConfig:
+    """Tunable parameters of the centralized control loop."""
+
+    block_size: float = DEFAULT_BLOCK_SIZE
+    cycle_seconds: float = 3.0
+    safety_threshold: float = 0.8
+    routing_backend: str = "greedy"
+    epsilon: float = 0.1
+    max_blocks_per_cycle: int = 0  # 0 = unlimited
+    max_sources_per_group: int = 3
+    merge_blocks: bool = True
+    # §5.1 non-blocking update: feed the algorithm a delivery state that
+    # speculates the completion of in-flight transfers over this horizon
+    # (seconds). 0 disables speculation.
+    speculation_horizon: float = 0.0
+    # Schedule placements onto jobs' relay DCs (Type I path diversity
+    # through non-destination DCs).
+    use_relays: bool = True
+
+    def __post_init__(self) -> None:
+        if self.speculation_horizon < 0:
+            raise ValueError("speculation_horizon must be >= 0")
+        check_positive("block_size", self.block_size)
+        check_positive("cycle_seconds", self.cycle_seconds)
+        check_fraction("safety_threshold", self.safety_threshold)
+        check_positive("epsilon", self.epsilon)
+        check_positive("max_sources_per_group", self.max_sources_per_group)
+        if self.max_blocks_per_cycle < 0:
+            raise ValueError("max_blocks_per_cycle must be >= 0 (0 = unlimited)")
+        if self.routing_backend not in ROUTING_BACKENDS:
+            raise ValueError(
+                f"routing_backend must be one of {ROUTING_BACKENDS}, "
+                f"got {self.routing_backend!r}"
+            )

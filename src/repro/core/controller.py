@@ -1,0 +1,139 @@
+"""The BDS controller: fully centralized overlay control (§3, §5.1, Fig. 8).
+
+Each cycle the controller (1) reads the global data-delivery view, (2) runs
+the scheduling step, (3) runs the routing step, and (4) emits rate-capped
+transfer directives for the agents. When the controller is unreachable
+(all replicas down or the DC partitioned away), agents *fall back to the
+decentralized overlay protocol* — Gingko — ensuring graceful degradation
+(§5.3); performance recovers the cycle the controller returns (Fig. 12a).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import OverlayStrategy
+from repro.baselines.gingko import GingkoStrategy
+from repro.core.config import BDSConfig
+from repro.core.decisions import ControlDecision
+from repro.core.routing import BDSRouter
+from repro.core.scheduling import RarestFirstScheduler
+from repro.core.speculation import DeliverySpeculator, SpeculatedView
+from repro.net.simulator import ClusterView, TransferDirective
+from repro.utils.rng import SeedLike
+
+
+class BDSController(OverlayStrategy):
+    """Centralized scheduler + router with decentralized fallback."""
+
+    uses_controller_rates = True
+    respects_safety_threshold = True
+
+    def __init__(
+        self,
+        config: Optional[BDSConfig] = None,
+        fallback: Optional[OverlayStrategy] = None,
+        seed: SeedLike = None,
+        controller_dc: Optional[str] = None,
+    ) -> None:
+        """``controller_dc`` locates the controller for §5.3 partition
+        handling: when WAN link failures cut DCs off from it, those DCs'
+        transfers run on the decentralized fallback while the rest stay
+        centrally controlled. ``None`` (default) treats the controller as
+        reachable from everywhere."""
+        self.config = config or BDSConfig()
+        self.controller_dc = controller_dc
+        self.scheduler = RarestFirstScheduler(
+            max_blocks_per_cycle=self.config.max_blocks_per_cycle,
+            use_relays=self.config.use_relays,
+        )
+        self.router = BDSRouter(
+            backend=self.config.routing_backend,
+            epsilon=self.config.epsilon,
+            max_sources_per_group=self.config.max_sources_per_group,
+            merge_blocks=self.config.merge_blocks,
+        )
+        self.fallback = fallback or GingkoStrategy(seed=seed)
+        self.decisions: List[ControlDecision] = []
+        self._fallback_active = False
+        self._speculator = (
+            DeliverySpeculator(self.config.speculation_horizon)
+            if self.config.speculation_horizon > 0
+            else None
+        )
+        self._previous_directives: List[TransferDirective] = []
+
+    @property
+    def fallback_active(self) -> bool:
+        """Whether the last cycle ran on the decentralized fallback."""
+        return self._fallback_active
+
+    def decide(self, view: ClusterView) -> List[TransferDirective]:
+        """One control cycle: schedule, route, emit directives.
+
+        When ``view.controller_available`` is false the decentralized
+        fallback decides instead; its flows are *not* rate-capped by the
+        simulator because ``uses_controller_rates`` only applies while the
+        controller is reachable (the simulator checks both).
+        """
+        if not view.controller_available:
+            self._fallback_active = True
+            return self.fallback.decide(view)
+        self._fallback_active = False
+
+        # §5.3 partition handling: DCs severed from the controller's DC run
+        # on the fallback; the controller only commands its own partition.
+        fallback_directives: List[TransferDirective] = []
+        if self.controller_dc is not None and view.failed_links:
+            reachable = view.topology.reachable_dcs(
+                self.controller_dc, view.failed_links
+            )
+            severed_servers = {
+                server.server_id
+                for server in view.topology.servers.values()
+                if server.dc not in reachable
+            }
+            if severed_servers:
+                fallback_directives = [
+                    d
+                    for d in self.fallback.decide(view)
+                    if view.store.dc_of(d.dst_server) not in reachable
+                ]
+                view = view.with_extra_failed_agents(severed_servers)
+
+        if self._speculator is not None and self._previous_directives:
+            block_sizes = {
+                block.block_id: block.size
+                for job in view.jobs
+                for block in job.blocks
+            }
+            speculated = self._speculator.speculate(
+                view, self._previous_directives, block_sizes
+            )
+            if speculated:
+                view = SpeculatedView(view, speculated)
+
+        selections = self.scheduler.select(view)
+        directives, diagnostics = self.router.route(view, selections)
+        self.decisions.append(
+            ControlDecision(
+                cycle=view.cycle,
+                directives=directives,
+                scheduled_blocks=len(selections),
+                num_commodities=diagnostics.num_commodities,
+                schedule_runtime=getattr(self.scheduler, "last_runtime", 0.0),
+                routing_runtime=diagnostics.runtime,
+                objective=diagnostics.objective,
+            )
+        )
+        self._previous_directives = directives
+        return directives + fallback_directives
+
+    def last_decision(self) -> Optional[ControlDecision]:
+        return self.decisions[-1] if self.decisions else None
+
+    def mean_runtime(self) -> float:
+        """Mean controller running time across cycles (Fig. 11a metric)."""
+        if not self.decisions:
+            return 0.0
+        return sum(d.total_runtime for d in self.decisions) / len(self.decisions)

@@ -1,0 +1,54 @@
+"""Decision records produced by the controller each cycle.
+
+The paper's output per cycle is the 2-tuple ⟨w, f⟩: ``w_b,s`` (is server s
+the destination of block b this cycle) and ``f_b,p`` (bandwidth allocated
+to b on path p). :class:`ScheduledBlock` captures a ``w`` entry;
+:class:`ControlDecision` carries the final directives (each encodes its
+``f`` as a rate cap) plus timing diagnostics used by the scalability
+benchmarks (Fig. 11a, 13a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.net.simulator import TransferDirective
+from repro.overlay.blocks import Block
+
+BlockId = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ScheduledBlock:
+    """One scheduling-step selection: deliver ``block`` to ``dst_server``.
+
+    ``is_relay`` marks placements onto relay DCs (§2.2 Type I path
+    diversity); relays never count toward job completion and are scheduled
+    at lower priority than real deliveries.
+    """
+
+    job_id: str
+    block: Block
+    dst_dc: str
+    dst_server: str
+    duplicates: int  # cluster-wide copy count when selected (rarity)
+    is_relay: bool = False
+
+
+@dataclass
+class ControlDecision:
+    """The controller's output for one cycle."""
+
+    cycle: int
+    directives: List[TransferDirective] = field(default_factory=list)
+    scheduled_blocks: int = 0
+    num_commodities: int = 0
+    schedule_runtime: float = 0.0
+    routing_runtime: float = 0.0
+    objective: float = 0.0  # total allocated bytes/s (Eq. 5 value)
+
+    @property
+    def total_runtime(self) -> float:
+        """Controller algorithm running time (the Fig. 11a metric)."""
+        return self.schedule_runtime + self.routing_runtime

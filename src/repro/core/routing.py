@@ -1,0 +1,369 @@
+"""The routing step: path selection and bandwidth allocation (§4.4, §5.1).
+
+Given the scheduling step's block selections, the router:
+
+1. picks up to ``max_sources_per_group`` candidate source servers per block
+   (spread across DCs for Type I/II path diversity);
+2. **merges blocks** sharing (destination server, candidate source set) into
+   one commodity — the §5.1 blocks-merging optimization that collapses
+   10^5 blocks into a few hundred subtasks;
+3. solves the max-throughput multi-commodity flow (Eq. 5 objective under
+   the Eq. 1–3 capacity/volume constraints) with one of three backends:
+
+   * ``greedy``  — rarity-ordered water-filling (fastest; the default);
+   * ``fptas``   — Garg–Könemann ε-approximation (the paper's choice);
+   * ``lp``      — exact LP via scipy/HiGHS (slowest; optimality yardstick);
+
+4. converts per-path rates into rate-capped single-hop
+   :class:`~repro.net.simulator.TransferDirective`s, splitting each merged
+   group's blocks across its sources in proportion to the allocated rates.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.decisions import ScheduledBlock
+from repro.lp.mcf import Commodity, PathMCF
+from repro.net.simulator import ClusterView, TransferDirective
+from repro.net.topology import ResourceKey
+from repro.overlay.blocks import Block
+from repro.utils.validation import check_positive
+
+BlockId = Tuple[str, int]
+GroupKey = Tuple[str, str, Tuple[str, ...]]  # (job, dst_server, sources)
+
+
+@dataclass
+class RoutingDiagnostics:
+    """Routing-step telemetry for the scalability figures (11a, 13a)."""
+
+    backend: str
+    num_selections: int
+    num_commodities: int
+    objective: float  # total allocated bytes/second
+    runtime: float
+
+
+class BDSRouter:
+    """Implements the routing half of BDS's decoupled control logic."""
+
+    def __init__(
+        self,
+        backend: str = "greedy",
+        epsilon: float = 0.1,
+        max_sources_per_group: int = 3,
+        merge_blocks: bool = True,
+    ) -> None:
+        if backend not in ("greedy", "fptas", "lp"):
+            raise ValueError(f"unknown routing backend {backend!r}")
+        check_positive("epsilon", epsilon)
+        check_positive("max_sources_per_group", max_sources_per_group)
+        self.backend = backend
+        self.epsilon = epsilon
+        self.max_sources_per_group = max_sources_per_group
+        self.merge_blocks = merge_blocks
+
+    # -- public API -------------------------------------------------------
+
+    def route(
+        self, view: ClusterView, selections: Sequence[ScheduledBlock]
+    ) -> Tuple[List[TransferDirective], RoutingDiagnostics]:
+        """Allocate paths and rates for the scheduled blocks."""
+        started = _time.perf_counter()
+        if not selections:
+            return [], RoutingDiagnostics(
+                backend=self.backend,
+                num_selections=0,
+                num_commodities=0,
+                objective=0.0,
+                runtime=_time.perf_counter() - started,
+            )
+
+        groups = self._build_groups(view, selections)
+        commodities, group_blocks = self._build_commodities(view, groups)
+        if not commodities:
+            return [], RoutingDiagnostics(
+                backend=self.backend,
+                num_selections=len(selections),
+                num_commodities=0,
+                objective=0.0,
+                runtime=_time.perf_counter() - started,
+            )
+
+        rates = self._solve(commodities, view.bulk_capacities)
+        directives = self._to_directives(view, commodities, group_blocks, rates)
+        objective = sum(rates.values())
+        return directives, RoutingDiagnostics(
+            backend=self.backend,
+            num_selections=len(selections),
+            num_commodities=len(commodities),
+            objective=objective,
+            runtime=_time.perf_counter() - started,
+        )
+
+    # -- step 1 & 2: source candidates and merging -------------------------------
+
+    def _candidate_sources(
+        self, view: ClusterView, entry: ScheduledBlock
+    ) -> Tuple[str, ...]:
+        """Up to ``max_sources_per_group`` diverse source servers.
+
+        Preference order: a holder in the destination's own DC (cheap
+        intra-DC copy), then holders spread across distinct DCs; rotation by
+        block index spreads different blocks over different holders of the
+        same DC, creating Type II path diversity.
+        """
+        holders = [
+            s
+            for s in view.eligible_sources(entry.block.block_id)
+            if s != entry.dst_server
+            # Failure-aware: a holder partitioned away from the destination
+            # is not a usable source this cycle (§5.3).
+            and view.flow_resources(s, entry.dst_server) is not None
+        ]
+        if not holders:
+            return ()
+        holders.sort()
+        by_dc: Dict[str, List[str]] = {}
+        for holder in holders:
+            by_dc.setdefault(view.store.dc_of(holder), []).append(holder)
+
+        picked: List[str] = []
+        dst_dc = entry.dst_dc
+        if dst_dc in by_dc:
+            local = by_dc[dst_dc]
+            picked.append(local[entry.block.index % len(local)])
+        # Round-robin over the other DCs, starting at a block-dependent
+        # offset so consecutive blocks favour different source DCs.
+        other_dcs = sorted(dc for dc in by_dc if dc != dst_dc)
+        if other_dcs:
+            start = entry.block.index % len(other_dcs)
+            ordered = other_dcs[start:] + other_dcs[:start]
+            for dc in ordered:
+                if len(picked) >= self.max_sources_per_group:
+                    break
+                servers = by_dc[dc]
+                candidate = servers[entry.block.index % len(servers)]
+                if candidate not in picked:
+                    picked.append(candidate)
+        return tuple(picked[: self.max_sources_per_group])
+
+    def _build_groups(
+        self, view: ClusterView, selections: Sequence[ScheduledBlock]
+    ) -> Dict[GroupKey, List[ScheduledBlock]]:
+        """Merge selections by (job, destination, source set) — §5.1.
+
+        With merging disabled every block becomes its own group, which is
+        the configuration the merging ablation benchmark exercises.
+        """
+        groups: Dict[GroupKey, List[ScheduledBlock]] = {}
+        for i, entry in enumerate(selections):
+            sources = self._candidate_sources(view, entry)
+            if not sources:
+                continue
+            if self.merge_blocks:
+                key = (entry.job_id, entry.dst_server, sources)
+            else:
+                key = (entry.job_id, f"{entry.dst_server}#{i}", sources)
+            groups.setdefault(key, []).append(entry)
+        return groups
+
+    # -- step 3: commodity construction and solving -------------------------------
+
+    def _build_commodities(
+        self,
+        view: ClusterView,
+        groups: Mapping[GroupKey, List[ScheduledBlock]],
+    ) -> Tuple[List[Commodity], Dict[GroupKey, List[Block]]]:
+        commodities: List[Commodity] = []
+        group_blocks: Dict[GroupKey, List[Block]] = {}
+        dt = view.cycle_seconds
+        for key, entries in groups.items():
+            _job, dst_label, sources = key
+            dst_server = entries[0].dst_server
+            blocks = [e.block for e in entries]
+            remaining = sum(
+                b.size - view.received_bytes(b.block_id, dst_server)
+                for b in blocks
+            )
+            if remaining <= 0:
+                continue
+            # Candidate sources are pre-filtered for routability, so every
+            # source has a failure-aware path here.
+            paths = tuple(
+                tuple(view.flow_resources(src, dst_server) or ())
+                for src in sources
+            )
+            if any(not p for p in paths):
+                continue  # a link failed between grouping and routing
+            commodities.append(
+                Commodity(name=key, paths=paths, demand=remaining / dt)
+            )
+            group_blocks[key] = blocks
+        return commodities, group_blocks
+
+    def _solve(
+        self,
+        commodities: List[Commodity],
+        capacities: Mapping[ResourceKey, float],
+    ) -> Dict[Tuple[GroupKey, int], float]:
+        """Dispatch to the configured backend; returns per-path rates."""
+        if self.backend == "greedy":
+            return self._solve_greedy(commodities, capacities)
+        problem = PathMCF(commodities, capacities)
+        if self.backend == "fptas":
+            result = problem.solve_fptas(epsilon=self.epsilon)
+        else:
+            result = problem.solve_lp()
+        return dict(result.path_flows)
+
+    @staticmethod
+    def _solve_greedy(
+        commodities: List[Commodity],
+        capacities: Mapping[ResourceKey, float],
+        fair_rounds: int = 3,
+    ) -> Dict[Tuple[GroupKey, int], float]:
+        """Round-robin water-filling in commodity order (rarity order).
+
+        Pure first-come-first-served greedy lets the first commodity drain
+        a shared uplink and starves every destination behind it, so the
+        allocation happens in two phases:
+
+        1. ``fair_rounds`` round-robin passes where each commodity pushes at
+           most ``room / remaining_commodities`` on its best residual path —
+           an approximation of max-min sharing;
+        2. a final pass in rarity order that hands out whatever is left.
+
+        O(rounds × commodities × paths × path length); this is the
+        real-time default, trading the FPTAS's provable bound for speed.
+        """
+        residual: Dict[ResourceKey, float] = dict(capacities)
+        rates: Dict[Tuple[GroupKey, int], float] = {}
+        remaining: Dict[int, float] = {
+            i: (c.demand if c.demand is not None else float("inf"))
+            for i, c in enumerate(commodities)
+        }
+
+        def push_flow(index: int, limit_fraction: float) -> None:
+            commodity = commodities[index]
+            demand = remaining[index]
+            while demand > 1e-9:
+                best_pi, best_room = -1, 0.0
+                for pi, path in enumerate(commodity.paths):
+                    room = min(residual.get(r, 0.0) for r in path)
+                    if room > best_room:
+                        best_room = room
+                        best_pi = pi
+                if best_pi < 0 or best_room <= 1e-9:
+                    break
+                push = min(demand, best_room * limit_fraction)
+                if push <= 1e-9:
+                    break
+                key = (commodity.name, best_pi)
+                rates[key] = rates.get(key, 0.0) + push
+                for res in commodity.paths[best_pi]:
+                    residual[res] = residual.get(res, 0.0) - push
+                demand -= push
+                if limit_fraction < 1.0:
+                    break  # one quantum per fair-round visit
+            remaining[index] = demand
+
+        active = [i for i, d in remaining.items() if d > 1e-9]
+        for _round in range(fair_rounds):
+            if not active:
+                break
+            share = 1.0 / max(len(active), 1)
+            for i in active:
+                push_flow(i, share)
+            active = [i for i in active if remaining[i] > 1e-9]
+        for i in range(len(commodities)):
+            if remaining[i] > 1e-9:
+                push_flow(i, 1.0)
+        return rates
+
+    # -- step 4: rates -> directives ----------------------------------------------
+
+    @staticmethod
+    def _to_directives(
+        view: ClusterView,
+        commodities: List[Commodity],
+        group_blocks: Mapping[GroupKey, List[Block]],
+        rates: Mapping[Tuple[GroupKey, int], float],
+    ) -> List[TransferDirective]:
+        """Split each merged group's blocks across its allocated sources.
+
+        Blocks are dealt to sources in proportion to each source's share of
+        the group's total rate, preserving rarity order within the group.
+        """
+        import zlib
+
+        directives: List[TransferDirective] = []
+        for commodity in commodities:
+            key: GroupKey = commodity.name  # type: ignore[assignment]
+            job_id, _dst_label, sources = key
+            blocks = group_blocks[key]
+            # Stagger block order per destination (Fig. 1's circled send
+            # order): different destinations start at different offsets, so
+            # they accumulate *disjoint* prefixes and can then serve each
+            # other over bottleneck-disjoint paths. Without this, every
+            # destination receives the same blocks in the same order and
+            # the overlay has nothing to exchange.
+            dst_for_offset = commodity.paths[0][-1][1]
+            offset = zlib.crc32(dst_for_offset.encode()) % len(blocks)
+            rotated = blocks[offset:] + blocks[:offset]
+            # Half-received blocks go first so their buffered bytes are not
+            # stranded by the rotation.
+            partial = [
+                b
+                for b in rotated
+                if view.received_bytes(b.block_id, dst_for_offset) > 0
+            ]
+            rest = [b for b in rotated if b not in partial]
+            blocks = partial + rest
+            dst_server = None
+            per_source: List[Tuple[str, float]] = []
+            for pi, src in enumerate(sources):
+                rate = rates.get((key, pi), 0.0)
+                if rate > 1e-9:
+                    per_source.append((src, rate))
+            if not per_source:
+                continue
+            # The destination is encoded in the path's last resource
+            # ("down", server); recover it from any path.
+            last = commodity.paths[0][-1]
+            dst_server = last[1]
+            total_rate = sum(rate for _s, rate in per_source)
+            total_bytes = sum(b.size for b in blocks)
+            # Deal blocks to sources by descending byte deficit.
+            budgets = {
+                src: rate / total_rate * total_bytes for src, rate in per_source
+            }
+            assigned: Dict[str, List[Block]] = {src: [] for src, _r in per_source}
+            for block in blocks:
+                src = max(budgets, key=lambda s: budgets[s])
+                assigned[src].append(block)
+                budgets[src] -= block.size
+            # A group with fewer blocks than flowing paths leaves some
+            # sources empty; hand their rate to the sources that did get
+            # blocks, or small block remainders drain geometrically and
+            # never finish. The simulator re-clips to capacity, so the
+            # reshuffled rate cannot oversubscribe any link.
+            used_rate = sum(r for s, r in per_source if assigned[s])
+            spare = total_rate - used_rate
+            for src, rate in per_source:
+                if not assigned[src]:
+                    continue
+                share = rate + (spare * rate / used_rate if used_rate > 0 else 0.0)
+                directives.append(
+                    TransferDirective(
+                        job_id=job_id,
+                        block_ids=tuple(b.block_id for b in assigned[src]),
+                        src_server=src,
+                        dst_server=dst_server,
+                        rate_cap=share,
+                    )
+                )
+        return directives

@@ -1,0 +1,90 @@
+"""The scheduling step: generalized rarest-first block selection (§4.3).
+
+Each cycle BDS picks *which* blocks to transfer before deciding *how*.
+Inspired by BitTorrent's rarest-first, the scheduler selects the subset of
+pending (block, destination server) deliveries whose blocks currently have
+the fewest copies cluster-wide, balancing block availability so that the
+greedy per-cycle routing step rarely starves any block (§4.4's discussion).
+
+The selection is what shrinks the routing step's search space: only the
+selected deliveries become LP commodities.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Tuple
+
+from repro.core.decisions import ScheduledBlock
+from repro.net.simulator import ClusterView
+
+
+class RarestFirstScheduler:
+    """Selects pending deliveries in ascending order of block duplicates."""
+
+    def __init__(
+        self, max_blocks_per_cycle: int = 0, use_relays: bool = True
+    ) -> None:
+        """``max_blocks_per_cycle``: cap on selections per cycle (0 = all).
+
+        A finite cap bounds the routing problem size for enormous jobs; the
+        paper instead bounds work through the per-cycle volume constraint
+        (Eq. 3), which the router's demand caps implement — both are
+        supported. ``use_relays`` additionally schedules block placements
+        onto a job's relay DCs (at lower priority than real deliveries).
+        """
+        if max_blocks_per_cycle < 0:
+            raise ValueError("max_blocks_per_cycle must be >= 0")
+        self.max_blocks_per_cycle = max_blocks_per_cycle
+        self.use_relays = use_relays
+
+    def select(self, view: ClusterView) -> List[ScheduledBlock]:
+        """The cycle's ``w`` assignments, rarest blocks first.
+
+        Only deliveries with at least one healthy source and a healthy
+        destination are selected (a failed agent drops out of the decision
+        space, §5.3). Relay placements sort after all real deliveries.
+        """
+        started = _time.perf_counter()
+        candidates: List[Tuple[int, int, int, int, ScheduledBlock]] = []
+        for job in view.jobs:
+            priority = getattr(job, "priority", 0)
+            pending = [
+                (block, dc, server, False)
+                for block, dc, server in view.pending_deliveries(job)
+            ]
+            if self.use_relays and job.relay_dcs:
+                pending.extend(
+                    (block, dc, server, True)
+                    for block, dc, server in view.pending_relay_placements(job)
+                )
+            for block, dst_dc, dst_server, is_relay in pending:
+                if not view.agent_is_up(dst_server):
+                    continue
+                duplicates = view.store.duplicate_count(block.block_id)
+                if duplicates == 0:
+                    continue
+                if not view.eligible_sources(block.block_id):
+                    continue
+                candidates.append(
+                    (
+                        1 if is_relay else 0,
+                        -priority,
+                        duplicates,
+                        block.index,
+                        ScheduledBlock(
+                            job_id=job.job_id,
+                            block=block,
+                            dst_dc=dst_dc,
+                            dst_server=dst_server,
+                            duplicates=duplicates,
+                            is_relay=is_relay,
+                        ),
+                    )
+                )
+        candidates.sort(key=lambda item: item[:4])
+        selected = [entry for _r, _p, _dup, _idx, entry in candidates]
+        if self.max_blocks_per_cycle:
+            selected = selected[: self.max_blocks_per_cycle]
+        self.last_runtime = _time.perf_counter() - started
+        return selected

@@ -1,0 +1,142 @@
+"""Path-based maximum multi-commodity flow (MCF).
+
+BDS's routing step (§4.4) is "essentially an integer MCF problem", made
+tractable by (a) the fractional relaxation over explicit candidate paths and
+(b) an FPTAS. This module defines the problem container and its exact-LP
+solution; :mod:`repro.lp.fptas` provides the ε-approximate fast path.
+
+A *commodity* is a merged block group (same source/destination server pair
+after §5.1 blocks merging) with an explicit set of candidate overlay paths,
+each path being the tuple of resources it consumes, and a demand cap (the
+bytes/second the group can still usefully absorb this cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lp.model import LinearProgram, LPError
+from repro.net.topology import ResourceKey
+
+
+@dataclass(frozen=True)
+class Commodity:
+    """One flow demand with explicit candidate paths.
+
+    ``paths`` lists each candidate as a tuple of resource keys; ``demand``
+    caps the commodity's total rate (``None`` means unbounded, limited only
+    by capacities).
+    """
+
+    name: Hashable
+    paths: Tuple[Tuple[ResourceKey, ...], ...]
+    demand: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ValueError(f"commodity {self.name!r} has no candidate paths")
+        if any(not p for p in self.paths):
+            raise ValueError(f"commodity {self.name!r} has an empty path")
+        if self.demand is not None and self.demand < 0:
+            raise ValueError("demand must be >= 0 or None")
+
+
+@dataclass
+class MCFResult:
+    """Solution of a max-MCF instance.
+
+    ``path_flows[(commodity_name, path_index)]`` is the rate on that path;
+    ``objective`` is the total rate across all commodities.
+    """
+
+    objective: float
+    path_flows: Dict[Tuple[Hashable, int], float]
+
+    def commodity_flow(self, name: Hashable) -> float:
+        """Total allocated rate of one commodity."""
+        return sum(
+            rate for (cname, _i), rate in self.path_flows.items() if cname == name
+        )
+
+    def resource_usage(
+        self, commodities: Sequence[Commodity]
+    ) -> Dict[ResourceKey, float]:
+        """Aggregate usage per resource implied by the path flows."""
+        by_name = {c.name: c for c in commodities}
+        usage: Dict[ResourceKey, float] = {}
+        for (cname, pi), rate in self.path_flows.items():
+            for res in by_name[cname].paths[pi]:
+                usage[res] = usage.get(res, 0.0) + rate
+        return usage
+
+
+class PathMCF:
+    """A max-throughput MCF instance over explicit paths.
+
+    Objective (paper Eq. 5): maximize total flow. Constraints: per-resource
+    capacity (Eq. 1 & 2 collapsed onto the resource set of each path) and
+    per-commodity demand (the per-cycle volume bound of Eq. 3).
+    """
+
+    def __init__(
+        self,
+        commodities: Sequence[Commodity],
+        capacities: Mapping[ResourceKey, float],
+    ) -> None:
+        if not commodities:
+            raise ValueError("need at least one commodity")
+        self.commodities = list(commodities)
+        self.capacities = dict(capacities)
+        for commodity in self.commodities:
+            for path in commodity.paths:
+                for res in path:
+                    if res not in self.capacities:
+                        raise KeyError(
+                            f"path of {commodity.name!r} uses unknown resource {res!r}"
+                        )
+
+    def solve_lp(self) -> MCFResult:
+        """Exact solution via the dense LP (the Fig. 13a 'standard' route)."""
+        lp = LinearProgram(maximize=True)
+        var_names: Dict[Tuple[int, int], str] = {}
+        for ci, commodity in enumerate(self.commodities):
+            for pi in range(len(commodity.paths)):
+                name = f"f_{ci}_{pi}"
+                var_names[(ci, pi)] = name
+                lp.add_variable(name, lower=0.0, objective=1.0)
+
+        # Per-resource capacity constraints.
+        by_resource: Dict[ResourceKey, Dict[str, float]] = {}
+        for ci, commodity in enumerate(self.commodities):
+            for pi, path in enumerate(commodity.paths):
+                for res in set(path):
+                    by_resource.setdefault(res, {})[var_names[(ci, pi)]] = 1.0
+        for res, coeffs in by_resource.items():
+            lp.add_constraint(coeffs, "<=", self.capacities[res])
+
+        # Per-commodity demand caps.
+        for ci, commodity in enumerate(self.commodities):
+            if commodity.demand is None:
+                continue
+            coeffs = {
+                var_names[(ci, pi)]: 1.0 for pi in range(len(commodity.paths))
+            }
+            lp.add_constraint(coeffs, "<=", commodity.demand)
+
+        solution = lp.solve()
+        flows: Dict[Tuple[Hashable, int], float] = {}
+        for (ci, pi), name in var_names.items():
+            rate = solution.values[name]
+            if rate > 1e-12:
+                flows[(self.commodities[ci].name, pi)] = rate
+        return MCFResult(objective=solution.objective, path_flows=flows)
+
+    def solve_fptas(self, epsilon: float = 0.1) -> MCFResult:
+        """ε-approximate solution via Garg–Könemann (the BDS fast path)."""
+        from repro.lp.fptas import max_multicommodity_flow
+
+        result = max_multicommodity_flow(
+            self.commodities, self.capacities, epsilon=epsilon
+        )
+        return MCFResult(objective=result.objective, path_flows=result.path_flows)

@@ -1,0 +1,69 @@
+"""Network substrate: topology, overlay paths, flows, and the cycle simulator.
+
+This package is the stand-in for the inter-datacenter WAN the paper's pilot
+deployment ran on. It models datacenters connected by capacitated WAN links,
+servers with uplink/downlink caps, max-min fair bandwidth sharing, latency,
+diurnal latency-sensitive background traffic, and failure injection.
+"""
+
+from repro.net.topology import DataCenter, Link, Server, Topology
+from repro.net.paths import (
+    OverlayPath,
+    bottleneck_capacity,
+    bottleneck_resources,
+    are_bottleneck_disjoint,
+    enumerate_dc_paths,
+    enumerate_overlay_paths,
+)
+from repro.net.flow import Flow, max_min_fair_rates, clip_rates_to_capacity
+from repro.net.latency import LatencyModel
+from repro.net.background import BackgroundTraffic, delay_inflation
+from repro.net.failures import FailureEvent, FailureSchedule
+from repro.net.presets import baidu_like, dumbbell, global_regions
+
+# The simulator sits above the overlay data plane (it moves blocks between
+# agents), so importing it here eagerly would be circular:
+# net.simulator -> overlay.job -> net.topology -> this __init__.
+# PEP 562 lazy attributes break the cycle while keeping
+# ``from repro.net import Simulation`` working.
+_SIMULATOR_EXPORTS = (
+    "ClusterView",
+    "SimConfig",
+    "SimResult",
+    "Simulation",
+    "TransferDirective",
+)
+
+
+def __getattr__(name):
+    if name in _SIMULATOR_EXPORTS:
+        from repro.net import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "DataCenter",
+    "Link",
+    "Server",
+    "Topology",
+    "OverlayPath",
+    "bottleneck_capacity",
+    "bottleneck_resources",
+    "are_bottleneck_disjoint",
+    "enumerate_dc_paths",
+    "enumerate_overlay_paths",
+    "Flow",
+    "max_min_fair_rates",
+    "clip_rates_to_capacity",
+    "LatencyModel",
+    "BackgroundTraffic",
+    "delay_inflation",
+    "FailureEvent",
+    "FailureSchedule",
+    "ClusterView",
+    "SimConfig",
+    "SimResult",
+    "Simulation",
+    "TransferDirective",
+]

@@ -1,0 +1,80 @@
+"""Latency-sensitive background traffic and its interaction with bulk data.
+
+Reproduces the substrate behind §2.3's Fig. 6 and §5.2's Fig. 10: every WAN
+link carries online (latency-sensitive) traffic following a diurnal curve
+with noise and bursts. When *total* utilization (online + bulk) exceeds the
+safety threshold, online traffic suffers queueing delay inflation — the
+"30× longer delay" incident the paper shows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.net.topology import ResourceKey
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_fraction, check_positive
+
+SECONDS_PER_DAY = 24 * 3600.0
+
+
+class BackgroundTraffic:
+    """Per-link latency-sensitive traffic as a function of simulated time.
+
+    The curve is ``base + diurnal * sin(...) + noise``, expressed as a
+    fraction of link capacity. Each link gets an independent random phase so
+    that peaks do not align across the WAN, as in production networks.
+    """
+
+    def __init__(
+        self,
+        base_fraction: float = 0.25,
+        diurnal_fraction: float = 0.20,
+        noise_fraction: float = 0.03,
+        seed: SeedLike = None,
+    ) -> None:
+        check_fraction("base_fraction", base_fraction)
+        check_fraction("diurnal_fraction", diurnal_fraction)
+        check_fraction("noise_fraction", noise_fraction)
+        self.base_fraction = base_fraction
+        self.diurnal_fraction = diurnal_fraction
+        self.noise_fraction = noise_fraction
+        self._rng = make_rng(seed)
+        self._phase: Dict[ResourceKey, float] = {}
+
+    def _link_phase(self, link: ResourceKey) -> float:
+        if link not in self._phase:
+            self._phase[link] = float(self._rng.uniform(0, 2 * math.pi))
+        return self._phase[link]
+
+    def usage_fraction(self, link: ResourceKey, time_s: float) -> float:
+        """Online traffic on ``link`` at ``time_s`` as a capacity fraction."""
+        phase = self._link_phase(link)
+        diurnal = math.sin(2 * math.pi * time_s / SECONDS_PER_DAY + phase)
+        noise = float(self._rng.normal(0.0, self.noise_fraction))
+        value = self.base_fraction + self.diurnal_fraction * 0.5 * (1 + diurnal) + noise
+        return min(max(value, 0.0), 1.0)
+
+    def usage(self, link: ResourceKey, time_s: float, capacity: float) -> float:
+        """Online traffic in bytes/second."""
+        check_positive("capacity", capacity)
+        return self.usage_fraction(link, time_s) * capacity
+
+
+def delay_inflation(utilization: float, threshold: float = 0.8) -> float:
+    """Queueing-delay multiplier for online traffic at a given utilization.
+
+    Below the safety threshold the link is effectively uncongested
+    (multiplier 1). Above it, delay grows like an M/M/1 queue,
+    ``1 / (1 - utilization)``, capped at 100× to keep metrics finite when a
+    link is driven to (or past) saturation. The paper's incident shows 30×
+    inflation at sustained >80 % utilization, which this curve reproduces
+    around 97 % total utilization.
+    """
+    check_fraction("threshold", threshold)
+    if utilization <= threshold:
+        return 1.0
+    utilization = min(utilization, 0.999)
+    inflation = (1.0 - threshold) / (1.0 - utilization)
+    return min(inflation, 100.0)

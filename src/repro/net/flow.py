@@ -1,0 +1,150 @@
+"""Flow-level bandwidth sharing.
+
+Two allocation regimes are needed by the reproduction:
+
+* **Max-min fairness** (progressive filling) — models what TCP-like
+  transport gives the *decentralized* baselines (Gingko, Bullet, Akamai),
+  where nobody assigns explicit rates and flows contend on shared links.
+* **Controller-assigned rates** — BDS assigns each flow an explicit rate;
+  :func:`clip_rates_to_capacity` then enforces physics by proportionally
+  scaling down any resource that ended up oversubscribed (e.g. because the
+  controller worked from slightly stale state, §5.1's non-blocking update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.topology import ResourceKey
+
+
+@dataclass
+class Flow:
+    """A unidirectional transfer consuming a fixed set of resources.
+
+    ``rate_cap`` optionally bounds the rate from above (BDS's bandwidth
+    allocation, or a per-flow application limit); ``demand`` optionally
+    bounds it by how much the flow can actually use this cycle
+    (remaining bytes / cycle length).
+    """
+
+    flow_id: Hashable
+    resources: Tuple[ResourceKey, ...]
+    rate_cap: Optional[float] = None
+    demand: Optional[float] = None
+
+    def effective_cap(self) -> float:
+        """The flow's own upper bound, +inf when unconstrained."""
+        cap = float("inf")
+        if self.rate_cap is not None:
+            cap = min(cap, self.rate_cap)
+        if self.demand is not None:
+            cap = min(cap, self.demand)
+        return cap
+
+
+def max_min_fair_rates(
+    flows: Sequence[Flow],
+    capacities: Mapping[ResourceKey, float],
+) -> Dict[Hashable, float]:
+    """Progressive-filling max-min fair allocation.
+
+    All flows grow at the same rate until some resource saturates; flows
+    through that resource freeze at their current rate, and the remaining
+    flows keep growing. Flow-level caps (``rate_cap``/``demand``) are
+    honoured: a flow freezes when it hits its own cap, releasing capacity
+    to the others. Runs in O(iterations × flows × path length); iterations
+    are bounded by the number of resources plus the number of flows.
+    """
+    rates: Dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
+    active: List[Flow] = [f for f in flows if f.effective_cap() > 0]
+    for flow in flows:
+        if flow.effective_cap() <= 0:
+            rates[flow.flow_id] = 0.0
+    residual: Dict[ResourceKey, float] = dict(capacities)
+    level = 0.0  # the common fair-share water level so far
+
+    while active:
+        # Count active flows per resource to find the next saturation point.
+        load: Dict[ResourceKey, int] = {}
+        for flow in active:
+            for res in flow.resources:
+                load[res] = load.get(res, 0) + 1
+
+        # Smallest increment that saturates a resource or hits a flow cap.
+        increment = float("inf")
+        for res, count in load.items():
+            if res not in residual:
+                raise KeyError(f"flow references unknown resource {res!r}")
+            increment = min(increment, residual[res] / count)
+        for flow in active:
+            increment = min(increment, flow.effective_cap() - level)
+        if increment == float("inf"):
+            raise ValueError("unbounded allocation: no capacities bind any flow")
+        increment = max(increment, 0.0)
+
+        level += increment
+        for flow in active:
+            rates[flow.flow_id] = level
+        for res, count in load.items():
+            residual[res] -= increment * count
+            if residual[res] < 0:  # numerical dust
+                residual[res] = 0.0
+
+        still_active: List[Flow] = []
+        for flow in active:
+            capped = flow.effective_cap() - level <= 1e-12
+            saturated = any(residual[res] <= 1e-9 for res in flow.resources)
+            if not (capped or saturated):
+                still_active.append(flow)
+        if len(still_active) == len(active):
+            # Numerical stalemate; freeze everything to terminate.
+            break
+        active = still_active
+    return rates
+
+
+def clip_rates_to_capacity(
+    flows: Sequence[Flow],
+    requested: Mapping[Hashable, float],
+    capacities: Mapping[ResourceKey, float],
+) -> Dict[Hashable, float]:
+    """Scale requested rates so no resource is oversubscribed.
+
+    Every resource with aggregate demand above capacity scales all its flows
+    by the same factor (the network's approximation of per-link fair
+    dropping); a flow crossing several oversubscribed resources gets the
+    most restrictive factor. One pass is sufficient because scaling only
+    ever decreases loads.
+    """
+    usage: Dict[ResourceKey, float] = {}
+    for flow in flows:
+        r = requested.get(flow.flow_id, 0.0)
+        for res in flow.resources:
+            usage[res] = usage.get(res, 0.0) + r
+    scale: Dict[ResourceKey, float] = {}
+    for res, used in usage.items():
+        cap = capacities.get(res)
+        if cap is None:
+            raise KeyError(f"flow references unknown resource {res!r}")
+        scale[res] = 1.0 if used <= cap or used <= 0 else cap / used
+    result: Dict[Hashable, float] = {}
+    for flow in flows:
+        r = requested.get(flow.flow_id, 0.0)
+        factor = min((scale[res] for res in flow.resources), default=1.0)
+        result[flow.flow_id] = r * factor
+    return result
+
+
+def resource_utilization(
+    flows: Sequence[Flow],
+    rates: Mapping[Hashable, float],
+) -> Dict[ResourceKey, float]:
+    """Aggregate bytes/second crossing each resource under ``rates``."""
+    usage: Dict[ResourceKey, float] = {}
+    for flow in flows:
+        r = rates.get(flow.flow_id, 0.0)
+        for res in flow.resources:
+            usage[res] = usage.get(res, 0.0) + r
+    return usage

@@ -1,0 +1,754 @@
+"""Cycle-driven flow-level simulator for inter-DC multicast.
+
+Time advances in controller cycles of ``ΔT`` seconds (3 s by default, the
+paper's update interval). Each cycle:
+
+1. the failure schedule is applied;
+2. latency-sensitive background traffic on every WAN link is sampled;
+3. the *strategy* (BDS's controller or one of the decentralized baselines)
+   inspects a :class:`ClusterView` and emits :class:`TransferDirective`s —
+   single-hop block transfers between servers, optionally rate-capped;
+4. rates are resolved — controller-assigned rates are clipped to capacity,
+   baseline flows get max-min fair shares;
+5. flows progress by ``rate × ΔT`` bytes, delivering blocks whose transfer
+   completes, updating the possession index and all completion metrics.
+
+Multi-hop overlay paths (store-and-forward) emerge across cycles: once a
+block lands on an intermediate server it becomes a candidate source in the
+next cycle, exactly like BDS's per-cycle choice of ``w_b,s``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.net.background import BackgroundTraffic, delay_inflation
+from repro.net.failures import FailureSchedule
+from repro.net.flow import Flow, clip_rates_to_capacity, max_min_fair_rates
+from repro.net.topology import ResourceKey, Topology
+from repro.overlay.blocks import Block
+from repro.overlay.job import MulticastJob
+from repro.overlay.store import PossessionIndex
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import check_fraction, check_positive
+
+BlockId = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class TransferDirective:
+    """One single-hop transfer order: send ``block_ids`` from src to dst.
+
+    ``rate_cap`` (bytes/s) is set by centralized strategies (BDS) and left
+    ``None`` by decentralized ones, whose flows then share bandwidth
+    max-min fairly. Blocks are transferred in the listed order, resuming any
+    partial progress the destination already accumulated.
+    """
+
+    job_id: str
+    block_ids: Tuple[BlockId, ...]
+    src_server: str
+    dst_server: str
+    rate_cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.block_ids:
+            raise ValueError("a directive needs at least one block")
+        if self.src_server == self.dst_server:
+            raise ValueError("directive endpoints must differ")
+        if self.rate_cap is not None and self.rate_cap < 0:
+            raise ValueError("rate_cap must be >= 0")
+
+
+@dataclass
+class SimConfig:
+    """Simulation knobs.
+
+    ``safety_threshold`` is the §5.2 limit: strategies that declare
+    ``respects_safety_threshold`` get at most ``threshold × capacity −
+    online traffic`` of each WAN link; others may burst up to the full
+    residual capacity (and cause the Fig. 6 interference incidents).
+    """
+
+    cycle_seconds: float = 3.0
+    max_cycles: int = 100_000
+    safety_threshold: float = 0.8
+    stop_when_complete: bool = True
+    record_link_stats: bool = False
+    links_of_interest: Tuple[ResourceKey, ...] = ()
+    # Per-cycle control-plane overhead: status collection + decision push
+    # eat into every flow's usable transfer window (Fig. 12c's first two
+    # overhead sources). 0 disables the effect.
+    control_overhead_seconds: float = 0.0
+    # TCP (re-)establishment cost: a flow whose (src, dst) pair was not
+    # active in the previous cycle loses this much of the cycle before
+    # transferring (Fig. 12c's third overhead source).
+    flow_setup_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("cycle_seconds", self.cycle_seconds)
+        check_positive("max_cycles", self.max_cycles)
+        check_fraction("safety_threshold", self.safety_threshold)
+        if self.control_overhead_seconds < 0:
+            raise ValueError("control_overhead_seconds must be >= 0")
+        if self.flow_setup_seconds < 0:
+            raise ValueError("flow_setup_seconds must be >= 0")
+        if self.control_overhead_seconds >= self.cycle_seconds:
+            raise ValueError(
+                "control_overhead_seconds must be < cycle_seconds "
+                "(the cycle would have no transfer window)"
+            )
+
+
+@dataclass
+class CycleStats:
+    """Aggregates recorded at the end of each simulated cycle."""
+
+    cycle: int
+    time: float
+    blocks_delivered: int
+    bytes_transferred: float
+    active_flows: int
+    controller_available: bool
+    link_bulk_usage: Dict[ResourceKey, float] = field(default_factory=dict)
+    link_online_usage: Dict[ResourceKey, float] = field(default_factory=dict)
+    max_delay_inflation: float = 1.0
+
+
+@dataclass
+class SimResult:
+    """Everything the experiments need from one simulation run."""
+
+    cycles_run: int
+    sim_time: float
+    wall_time: float
+    job_completion: Dict[str, float]
+    dc_completion: Dict[Tuple[str, str], float]
+    server_completion: Dict[Tuple[str, str], float]
+    cycle_stats: List[CycleStats]
+    store: PossessionIndex
+    all_complete: bool
+    # Control-plane feedback-loop samples (one per cycle) when the
+    # simulation ran with an AgentMonitor attached.
+    feedback_samples: List = field(default_factory=list)
+
+    def completion_time(self, job_id: str) -> float:
+        """Completion time of a job; raises if it never completed."""
+        try:
+            return self.job_completion[job_id]
+        except KeyError:
+            raise KeyError(f"job {job_id!r} did not complete") from None
+
+    def server_completion_times(self, job_id: str) -> List[float]:
+        """Per-destination-server completion times (the Fig. 5/9a CDF data)."""
+        return [
+            t for (jid, _server), t in self.server_completion.items() if jid == job_id
+        ]
+
+    def blocks_per_cycle(self) -> List[int]:
+        """Delivered-block counts per cycle (the Fig. 12a series)."""
+        return [s.blocks_delivered for s in self.cycle_stats]
+
+    def total_bytes_transferred(self) -> float:
+        """Bytes moved across all flows over the whole run."""
+        return sum(s.bytes_transferred for s in self.cycle_stats)
+
+    def summary(self) -> str:
+        """A short human-readable report of the run."""
+        lines = [
+            f"cycles run      : {self.cycles_run}",
+            f"simulated time  : {self.sim_time:.1f}s",
+            f"wall time       : {self.wall_time:.2f}s",
+            f"jobs completed  : {len(self.job_completion)}",
+            f"all complete    : {self.all_complete}",
+            f"bytes moved     : {self.total_bytes_transferred():.3g}",
+        ]
+        for job_id in sorted(self.job_completion):
+            lines.append(
+                f"  {job_id}: done at {self.job_completion[job_id]:.1f}s"
+            )
+        return "\n".join(lines)
+
+
+class ClusterView:
+    """Read-only snapshot handed to strategies each cycle.
+
+    This is the "global view" a centralized controller enjoys; decentralized
+    baselines deliberately use only slices of it (their local views).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        store: PossessionIndex,
+        jobs: Sequence[MulticastJob],
+        cycle: int,
+        time: float,
+        cycle_seconds: float,
+        bulk_capacities: Mapping[ResourceKey, float],
+        failed_agents: Set[str],
+        controller_available: bool,
+        partial_bytes: Mapping[Tuple[BlockId, str], float],
+        failed_links: frozenset = frozenset(),
+    ) -> None:
+        self.topology = topology
+        self.store = store
+        self.jobs = list(jobs)
+        self.cycle = cycle
+        self.time = time
+        self.cycle_seconds = cycle_seconds
+        self.bulk_capacities = dict(bulk_capacities)
+        self.failed_agents = set(failed_agents)
+        self.controller_available = controller_available
+        self.failed_links = frozenset(failed_links)
+        self._partial = partial_bytes
+
+    def agent_is_up(self, server_id: str) -> bool:
+        return server_id not in self.failed_agents
+
+    def with_extra_failed_agents(self, extra: Iterable[str]) -> "ClusterView":
+        """A copy of this view treating ``extra`` servers as failed.
+
+        Used by the controller's partition handling (§5.3): servers in DCs
+        cut off from the controller cannot receive commands, so the
+        centralized logic must not schedule them as sources or sinks.
+        """
+        clone = ClusterView(
+            topology=self.topology,
+            store=self.store,
+            jobs=self.jobs,
+            cycle=self.cycle,
+            time=self.time,
+            cycle_seconds=self.cycle_seconds,
+            bulk_capacities=self.bulk_capacities,
+            failed_agents=self.failed_agents | set(extra),
+            controller_available=self.controller_available,
+            partial_bytes=self._partial,
+            failed_links=self.failed_links,
+        )
+        return clone
+
+    def flow_resources(
+        self, src_server: str, dst_server: str
+    ) -> Optional[Tuple[ResourceKey, ...]]:
+        """Failure-aware flow resources, or ``None`` when partitioned off.
+
+        Strategies should use this instead of ``topology.flow_resources``
+        so their paths detour around failed WAN links (§5.3).
+        """
+        try:
+            return self.topology.flow_resources(
+                src_server, dst_server, self.failed_links
+            )
+        except ValueError:
+            return None
+
+    def received_bytes(self, block_id: BlockId, dst_server: str) -> float:
+        """Bytes of ``block_id`` already buffered at ``dst_server``."""
+        return self._partial.get((block_id, dst_server), 0.0)
+
+    def pending_deliveries(
+        self, job: MulticastJob
+    ) -> List[Tuple[Block, str, str]]:
+        """Undelivered (block, dst_dc, assigned dst server) triples."""
+        pending: List[Tuple[Block, str, str]] = []
+        for dc in job.dst_dcs:
+            for block in job.blocks:
+                server = job.assigned_server(dc, block.block_id)
+                if not self.store.has(server, block.block_id):
+                    pending.append((block, dc, server))
+        return pending
+
+    def eligible_sources(self, block_id: BlockId) -> List[str]:
+        """Healthy servers currently holding the block."""
+        return [
+            s for s in self.store.holders(block_id) if self.agent_is_up(s)
+        ]
+
+    def pending_relay_placements(
+        self, job: MulticastJob
+    ) -> List[Tuple[Block, str, str]]:
+        """Relay copies worth creating: (block, relay_dc, relay server).
+
+        Only for jobs configured with ``relay_dcs``. A relay placement is
+        pending while the relay DC holds no copy of the block; relays do
+        not count toward completion but widen the Type I path diversity
+        through non-destination DCs (Fig. 1).
+        """
+        placements: List[Tuple[Block, str, str]] = []
+        for dc in job.relay_dcs:
+            for block in job.blocks:
+                if self.store.dc_has_block(dc, block.block_id):
+                    continue
+                server = job.assigned_server(dc, block.block_id)
+                placements.append((block, dc, server))
+        return placements
+
+
+class Simulation:
+    """Owns the cycle loop, resource accounting, and metric collection."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        jobs: Sequence[MulticastJob],
+        strategy: "OverlayStrategyLike",
+        config: Optional[SimConfig] = None,
+        background: Optional[BackgroundTraffic] = None,
+        failures: Optional[FailureSchedule] = None,
+        seed: SeedLike = None,
+        pre_seeded: Optional[Mapping[str, Sequence[Block]]] = None,
+        replica_set: Optional["ControllerReplicaSetLike"] = None,
+        agent_monitor: Optional["AgentMonitorLike"] = None,
+    ) -> None:
+        """``pre_seeded`` places extra block copies on servers before the
+        run (e.g. partially replicated states for the appendix experiment);
+        copies landing on a destination's assigned server count as already
+        delivered.
+
+        ``replica_set`` (a :class:`repro.core.fault.ControllerReplicaSet`)
+        makes controller availability follow leader elections: the failure
+        schedule's ``replica_fail``/``replica_recover`` events hit
+        individual replicas, and the controller is available while a
+        leader exists (plus any blanket ``controller_fail`` still applies).
+
+        ``agent_monitor`` (a :class:`repro.overlay.monitor.AgentMonitor`)
+        samples the control-plane feedback loop each cycle; samples land in
+        ``SimResult.feedback_samples`` (the live Fig. 11c measurement).
+        """
+        self.topology = topology
+        self.jobs = list(jobs)
+        self.strategy = strategy
+        self.config = config or SimConfig()
+        self.background = background
+        self.failures = failures
+        self.replica_set = replica_set
+        self.agent_monitor = agent_monitor
+        self.rng = make_rng(seed)
+        self._agents: List = []
+        if agent_monitor is not None:
+            from repro.overlay.agent import ServerAgent
+
+            self._agents = [
+                ServerAgent(s) for s in topology.servers.values()
+            ]
+
+        if not self.jobs:
+            raise ValueError("need at least one job")
+        server_dc = {s.server_id: s.dc for s in topology.servers.values()}
+        self.store = PossessionIndex(server_dc)
+        for job in self.jobs:
+            if not job.is_bound():
+                job.bind(topology)
+            for server, blocks in job.initial_placement().items():
+                self.store.seed(server, blocks)
+        if pre_seeded:
+            for server, blocks in pre_seeded.items():
+                self.store.seed(server, blocks)
+
+        # (block_id, dst_server) -> bytes buffered so far.
+        self._partial: Dict[Tuple[BlockId, str], float] = {}
+        # Pending (job, dc) -> set of (block_id, server) still missing.
+        self._pending: Dict[Tuple[str, str], Set[Tuple[BlockId, str]]] = {}
+        # (job, server) -> number of shard blocks still missing.
+        self._server_missing: Dict[Tuple[str, str], int] = {}
+        for job in self.jobs:
+            for dc in job.dst_dcs:
+                missing = set()
+                for block in job.blocks:
+                    server = job.assigned_server(dc, block.block_id)
+                    if self.store.has(server, block.block_id):
+                        continue  # pre-seeded copies count as delivered
+                    missing.add((block.block_id, server))
+                    key = (job.job_id, server)
+                    self._server_missing[key] = self._server_missing.get(key, 0) + 1
+                self._pending[(job.job_id, dc)] = missing
+
+        self._blocks_by_id: Dict[BlockId, Block] = {}
+        self._origin_dc: Dict[str, str] = {}
+        for job in self.jobs:
+            self._origin_dc[job.job_id] = job.src_dc
+            for block in job.blocks:
+                self._blocks_by_id[block.block_id] = block
+
+    # -- per-cycle resource budgets ------------------------------------------
+
+    def _bulk_capacities(self, now: float, respect_threshold: bool) -> Tuple[
+        Dict[ResourceKey, float], Dict[ResourceKey, float]
+    ]:
+        """(bulk capacity, online usage) per resource for this cycle."""
+        caps = self.topology.resource_capacities()
+        online: Dict[ResourceKey, float] = {}
+        threshold = self.config.safety_threshold if respect_threshold else 1.0
+        bulk: Dict[ResourceKey, float] = {}
+        for key, cap in caps.items():
+            if key[0] == "wan":
+                used = (
+                    self.background.usage(key, now, cap) if self.background else 0.0
+                )
+                online[key] = used
+                bulk[key] = max(0.0, threshold * cap - used)
+                if self.failures and not self.failures.link_is_up(key[1], key[2]):
+                    bulk[key] = 0.0
+            else:
+                bulk[key] = cap
+        return bulk, online
+
+    # -- directive validation ----------------------------------------------------
+
+    def _valid_directives(
+        self, directives: Iterable[TransferDirective], failed: Set[str]
+    ) -> List[TransferDirective]:
+        """Drop directives that violate physics or reference failed agents."""
+        valid: List[TransferDirective] = []
+        for d in directives:
+            if d.src_server in failed or d.dst_server in failed:
+                continue
+            if d.src_server not in self.topology.servers:
+                raise KeyError(f"unknown source server {d.src_server!r}")
+            if d.dst_server not in self.topology.servers:
+                raise KeyError(f"unknown destination server {d.dst_server!r}")
+            useful_blocks = tuple(
+                bid
+                for bid in d.block_ids
+                if self.store.has(d.src_server, bid)
+                and not self.store.has(d.dst_server, bid)
+            )
+            if not useful_blocks:
+                continue
+            if useful_blocks != d.block_ids:
+                d = TransferDirective(
+                    job_id=d.job_id,
+                    block_ids=useful_blocks,
+                    src_server=d.src_server,
+                    dst_server=d.dst_server,
+                    rate_cap=d.rate_cap,
+                )
+            valid.append(d)
+        return valid
+
+    def snapshot_view(self, cycle: int = 0) -> ClusterView:
+        """A :class:`ClusterView` of the current state without simulating.
+
+        Used by the controller micro-benchmarks (Fig. 11a, Fig. 13a) to time
+        a single decision over a state of a given size.
+        """
+        respects = getattr(self.strategy, "respects_safety_threshold", False)
+        bulk_caps, _online = self._bulk_capacities(cycle * self.config.cycle_seconds, respects)
+        return ClusterView(
+            topology=self.topology,
+            store=self.store,
+            jobs=[j for j in self.jobs if j.arrival_time <= cycle * self.config.cycle_seconds],
+            cycle=cycle,
+            time=cycle * self.config.cycle_seconds,
+            cycle_seconds=self.config.cycle_seconds,
+            bulk_capacities=bulk_caps,
+            failed_agents=set(self.failures.failed_agents) if self.failures else set(),
+            controller_available=True,
+            partial_bytes=self._partial,
+            failed_links=frozenset(self.failures.failed_links)
+            if self.failures
+            else frozenset(),
+        )
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Run until all jobs complete or ``max_cycles`` elapse."""
+        cfg = self.config
+        dt = cfg.cycle_seconds
+        job_completion: Dict[str, float] = {}
+        dc_completion: Dict[Tuple[str, str], float] = {}
+        server_completion: Dict[Tuple[str, str], float] = {}
+        cycle_stats: List[CycleStats] = []
+        feedback_samples: List = []
+        started = _time.perf_counter()
+
+        # Pre-seeded copies may have satisfied shards before the run starts.
+        for job in self.jobs:
+            for dc in job.dst_dcs:
+                for server in job.destination_servers(dc):
+                    if self._server_missing.get((job.job_id, server), 0) == 0:
+                        server_completion[(job.job_id, server)] = 0.0
+                if not self._pending[(job.job_id, dc)]:
+                    dc_completion[(job.job_id, dc)] = 0.0
+            if all((job.job_id, dc) in dc_completion for dc in job.dst_dcs):
+                job_completion[job.job_id] = 0.0
+
+        uses_rates = getattr(self.strategy, "uses_controller_rates", False)
+        respects = getattr(self.strategy, "respects_safety_threshold", False)
+
+        # (src, dst) pairs with an active flow last cycle: reused pairs skip
+        # the TCP re-establishment cost.
+        prev_pairs: Set[Tuple[str, str]] = set()
+        cycle = 0
+        for cycle in range(cfg.max_cycles):
+            now = cycle * dt
+            if self.failures:
+                applied = self.failures.advance_to(cycle)
+                failed = set(self.failures.failed_agents)
+                controller_ok = not self.failures.controller_down
+                failed_links = frozenset(self.failures.failed_links)
+                if self.replica_set is not None:
+                    for event in applied:
+                        if event.kind == "replica_fail":
+                            self.replica_set.fail(str(event.target))
+                        elif event.kind == "replica_recover":
+                            self.replica_set.recover(str(event.target))
+            else:
+                failed = set()
+                controller_ok = True
+                failed_links = frozenset()
+            if self.replica_set is not None:
+                self.replica_set.tick()
+                controller_ok = controller_ok and self.replica_set.has_leader()
+
+            bulk_caps, online = self._bulk_capacities(now, respects)
+            active_jobs = [
+                j
+                for j in self.jobs
+                if j.arrival_time <= now and j.job_id not in job_completion
+            ]
+            view = ClusterView(
+                topology=self.topology,
+                store=self.store,
+                jobs=active_jobs,
+                cycle=cycle,
+                time=now,
+                cycle_seconds=dt,
+                bulk_capacities=bulk_caps,
+                failed_agents=failed,
+                controller_available=controller_ok,
+                partial_bytes=self._partial,
+                failed_links=failed_links,
+            )
+            decide_started = _time.perf_counter()
+            raw_directives = self.strategy.decide(view)
+            decide_runtime = _time.perf_counter() - decide_started
+            directives = self._valid_directives(raw_directives, failed)
+
+            if self.agent_monitor is not None and controller_ok:
+                for agent in self._agents:
+                    agent.healthy = agent.server_id not in failed
+                _snapshots, sample = self.agent_monitor.feedback_loop(
+                    self._agents, {}, decide_runtime
+                )
+                feedback_samples.append(sample)
+
+            flows: List[Flow] = []
+            routed: List[TransferDirective] = []
+            flow_resources: List[Tuple[ResourceKey, ...]] = []
+            for d in directives:
+                try:
+                    resources = self.topology.flow_resources(
+                        d.src_server, d.dst_server, failed_links
+                    )
+                except ValueError:
+                    continue  # destination partitioned off this cycle
+                i = len(routed)
+                remaining = sum(
+                    self._blocks_by_id[bid].size
+                    - self._partial.get((bid, d.dst_server), 0.0)
+                    for bid in d.block_ids
+                )
+                routed.append(d)
+                flow_resources.append(resources)
+                flows.append(
+                    Flow(
+                        flow_id=i,
+                        resources=resources,
+                        rate_cap=d.rate_cap,
+                        demand=remaining / dt,
+                    )
+                )
+            directives = routed
+
+            if uses_rates and controller_ok:
+                requested = {
+                    f.flow_id: min(f.effective_cap(), float("inf")) for f in flows
+                }
+                # Replace inf (no cap given) with the demand bound.
+                for f in flows:
+                    if requested[f.flow_id] == float("inf"):
+                        requested[f.flow_id] = f.demand or 0.0
+                rates = clip_rates_to_capacity(flows, requested, bulk_caps)
+            else:
+                rates = max_min_fair_rates(flows, bulk_caps)
+
+            delivered = 0
+            transferred = 0.0
+            current_pairs: Set[Tuple[str, str]] = set()
+            for i, d in enumerate(directives):
+                rate = rates.get(i, 0.0)
+                if rate <= 0:
+                    continue
+                pair = (d.src_server, d.dst_server)
+                window = dt - cfg.control_overhead_seconds
+                if pair not in prev_pairs:
+                    window = max(0.0, window - cfg.flow_setup_seconds)
+                current_pairs.add(pair)
+                if window <= 0:
+                    continue
+                budget = rate * window
+                used = 0.0
+                for bid in d.block_ids:
+                    if budget <= 1e-12:
+                        break
+                    block = self._blocks_by_id[bid]
+                    key = (bid, d.dst_server)
+                    have = self._partial.get(key, 0.0)
+                    need = block.size - have
+                    take = min(need, budget)
+                    budget -= take
+                    used += take
+                    # A microbyte of slack absorbs floating-point dust from
+                    # rate multiplications; without it a block can hover at
+                    # size - 1e-9 bytes forever (the router will not
+                    # schedule sub-nanobyte demands).
+                    if take >= need - 1e-6:
+                        self._partial.pop(key, None)
+                        setup = dt - window
+                        finish = now + setup + (used / rate if rate > 0 else dt)
+                        self._deliver(
+                            d.job_id,
+                            block,
+                            d.src_server,
+                            d.dst_server,
+                            min(finish, now + dt),
+                            job_completion,
+                            dc_completion,
+                            server_completion,
+                        )
+                        delivered += 1
+                    else:
+                        self._partial[key] = have + take
+                transferred += used
+
+            stats = CycleStats(
+                cycle=cycle,
+                time=now,
+                blocks_delivered=delivered,
+                bytes_transferred=transferred,
+                active_flows=len(directives),
+                controller_available=controller_ok,
+            )
+            if cfg.record_link_stats:
+                usage: Dict[ResourceKey, float] = {}
+                for i, d in enumerate(directives):
+                    rate = rates.get(i, 0.0)
+                    for res in flow_resources[i]:
+                        usage[res] = usage.get(res, 0.0) + rate
+                keys = cfg.links_of_interest or tuple(self.topology.links)
+                caps = self.topology.resource_capacities()
+                worst = 1.0
+                for key in keys:
+                    stats.link_bulk_usage[key] = usage.get(key, 0.0)
+                    stats.link_online_usage[key] = online.get(key, 0.0)
+                    total = stats.link_bulk_usage[key] + stats.link_online_usage[key]
+                    worst = max(
+                        worst,
+                        delay_inflation(
+                            total / caps[key], cfg.safety_threshold
+                        ),
+                    )
+                stats.max_delay_inflation = worst
+            cycle_stats.append(stats)
+
+            prev_pairs = current_pairs
+
+            hook = getattr(self.strategy, "on_cycle_complete", None)
+            if hook is not None:
+                hook(view, delivered)
+
+            if cfg.stop_when_complete and len(job_completion) == len(self.jobs):
+                cycle += 1
+                break
+        else:
+            cycle = cfg.max_cycles
+
+        return SimResult(
+            cycles_run=cycle if cycle_stats else 0,
+            sim_time=len(cycle_stats) * dt,
+            wall_time=_time.perf_counter() - started,
+            job_completion=job_completion,
+            dc_completion=dc_completion,
+            server_completion=server_completion,
+            cycle_stats=cycle_stats,
+            store=self.store,
+            all_complete=len(job_completion) == len(self.jobs),
+            feedback_samples=feedback_samples,
+        )
+
+    # -- delivery bookkeeping -----------------------------------------------------
+
+    def _deliver(
+        self,
+        job_id: str,
+        block: Block,
+        src_server: str,
+        dst_server: str,
+        when: float,
+        job_completion: Dict[str, float],
+        dc_completion: Dict[Tuple[str, str], float],
+        server_completion: Dict[Tuple[str, str], float],
+    ) -> None:
+        self.store.record_delivery(
+            block, src_server, dst_server, when, self._origin_dc[job_id]
+        )
+        dst_dc = self.store.dc_of(dst_server)
+        pending = self._pending.get((job_id, dst_dc))
+        if pending is None:
+            return  # delivery to a relay DC: useful, but not completion-tracked
+        entry = (block.block_id, dst_server)
+        if entry not in pending:
+            return  # block landed on a non-assigned server of a dest DC
+        pending.discard(entry)
+        skey = (job_id, dst_server)
+        self._server_missing[skey] -= 1
+        if self._server_missing[skey] == 0:
+            server_completion[skey] = when
+        if not pending:
+            dc_completion[(job_id, dst_dc)] = when
+            job = next(j for j in self.jobs if j.job_id == job_id)
+            if all((job_id, dc) in dc_completion for dc in job.dst_dcs):
+                job_completion[job_id] = max(
+                    dc_completion[(job_id, dc)] for dc in job.dst_dcs
+                )
+
+
+class OverlayStrategyLike:
+    """Typing helper documenting the strategy duck-type the simulator uses.
+
+    Real strategies subclass :class:`repro.baselines.base.OverlayStrategy`.
+    """
+
+    uses_controller_rates: bool = False
+    respects_safety_threshold: bool = False
+
+    def decide(self, view: ClusterView) -> List[TransferDirective]:
+        raise NotImplementedError
+
+
+class ControllerReplicaSetLike:
+    """Duck-type of :class:`repro.core.fault.ControllerReplicaSet`."""
+
+    def fail(self, name: str) -> None:
+        raise NotImplementedError
+
+    def recover(self, name: str) -> None:
+        raise NotImplementedError
+
+    def tick(self) -> None:
+        raise NotImplementedError
+
+    def has_leader(self) -> bool:
+        raise NotImplementedError
+
+
+class AgentMonitorLike:
+    """Duck-type of :class:`repro.overlay.monitor.AgentMonitor`."""
+
+    def feedback_loop(self, agents, blocks_by_server, algorithm_runtime):
+        raise NotImplementedError

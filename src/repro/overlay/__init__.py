@@ -1,0 +1,20 @@
+"""Overlay data plane: blocks, possession index, jobs, agents, messaging."""
+
+from repro.overlay.blocks import Block, split_into_blocks, group_by_pair
+from repro.overlay.store import DeliveryRecord, PossessionIndex
+from repro.overlay.job import MulticastJob
+from repro.overlay.agent import AgentSnapshot, ServerAgent
+from repro.overlay.monitor import AgentMonitor, FeedbackLoopSample
+
+__all__ = [
+    "Block",
+    "split_into_blocks",
+    "group_by_pair",
+    "DeliveryRecord",
+    "PossessionIndex",
+    "MulticastJob",
+    "AgentSnapshot",
+    "ServerAgent",
+    "AgentMonitor",
+    "FeedbackLoopSample",
+]

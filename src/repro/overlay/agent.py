@@ -1,0 +1,68 @@
+"""Per-server agents: the stateless local endpoints of BDS (§3, §5.1).
+
+In the real system an agent checks local state each cycle (which blocks
+arrived, server health, disk failures), reports it to the controller through
+the Agent Monitor, and later enforces the controller's bandwidth allocations
+with ``tc``/``wget --limit-rate``. In the reproduction the data plane runs
+inside the simulator, so the agent's job is to produce *status snapshots*
+(including their control-plane delay) and to expose health state that the
+failure schedule toggles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.net.topology import Server
+
+BlockId = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class AgentSnapshot:
+    """One status report from an agent to the controller.
+
+    ``blocks`` is the set of blocks fully received; ``healthy`` reflects
+    server/disk state; ``report_delay`` is the one-way control-plane delay
+    this report experienced.
+    """
+
+    server_id: str
+    dc: str
+    blocks: FrozenSet[BlockId]
+    healthy: bool
+    report_delay: float
+
+
+class ServerAgent:
+    """Local agent state for one server."""
+
+    def __init__(self, server: Server) -> None:
+        self.server = server
+        self.healthy = True
+
+    @property
+    def server_id(self) -> str:
+        return self.server.server_id
+
+    @property
+    def dc(self) -> str:
+        return self.server.dc
+
+    def fail(self) -> None:
+        """Mark the server down (crash / disk failure)."""
+        self.healthy = False
+
+    def recover(self) -> None:
+        self.healthy = True
+
+    def snapshot(self, blocks: Set[BlockId], report_delay: float) -> AgentSnapshot:
+        """Build the status report the Agent Monitor will forward."""
+        return AgentSnapshot(
+            server_id=self.server_id,
+            dc=self.dc,
+            blocks=frozenset(blocks),
+            healthy=self.healthy,
+            report_delay=report_delay,
+        )

@@ -1,0 +1,87 @@
+"""Data blocks: the fine-grained transfer unit of BDS (§4.1).
+
+BDS splits every bulk file into fixed-size blocks (2 MB by default in the
+paper) so that different blocks can ride different bottleneck-disjoint
+overlay paths simultaneously. This module provides the block abstraction,
+file splitting, and the block-merging helper used by the controller's
+"blocks merging" optimization (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.utils.units import MB
+from repro.utils.validation import check_positive
+
+DEFAULT_BLOCK_SIZE = 2 * MB
+
+
+@dataclass(frozen=True, order=True)
+class Block:
+    """One block of a multicast job's data file.
+
+    Blocks are ordered by ``(job_id, index)`` so that sorted containers and
+    deterministic iteration are cheap.
+    """
+
+    job_id: str
+    index: int
+    size: float
+
+    def __post_init__(self) -> None:
+        check_positive("size", self.size)
+        if self.index < 0:
+            raise ValueError("block index must be >= 0")
+
+    @property
+    def block_id(self) -> Tuple[str, int]:
+        """Globally unique identifier (hashable)."""
+        return (self.job_id, self.index)
+
+
+def split_into_blocks(
+    job_id: str, total_bytes: float, block_size: float = DEFAULT_BLOCK_SIZE
+) -> List[Block]:
+    """Split ``total_bytes`` into fixed-size blocks; the tail may be smaller.
+
+    >>> [b.size for b in split_into_blocks("j", 5 * MB, 2 * MB)] == [
+    ...     2 * MB, 2 * MB, 1 * MB]
+    True
+    """
+    check_positive("total_bytes", total_bytes)
+    check_positive("block_size", block_size)
+    blocks: List[Block] = []
+    remaining = float(total_bytes)
+    index = 0
+    while remaining > 1e-9:
+        size = min(block_size, remaining)
+        blocks.append(Block(job_id=job_id, index=index, size=size))
+        remaining -= size
+        index += 1
+    return blocks
+
+
+def group_by_pair(
+    assignments: Mapping[Tuple[str, int], Tuple[str, str]],
+    blocks: Mapping[Tuple[str, int], Block],
+) -> Dict[Tuple[str, str], List[Block]]:
+    """Merge blocks that share a (source server, destination server) pair.
+
+    This is the §5.1 "blocks merging" optimization: a merged group becomes a
+    single subtask / TCP connection, shrinking both the controller's decision
+    space and the number of parallel connections. ``assignments`` maps a
+    block id to its chosen (src, dst) pair.
+    """
+    groups: Dict[Tuple[str, str], List[Block]] = {}
+    for block_id, pair in assignments.items():
+        groups.setdefault(pair, []).append(blocks[block_id])
+    for members in groups.values():
+        members.sort()
+    return groups
+
+
+def total_size(blocks: Iterable[Block]) -> float:
+    """Sum of block sizes in bytes."""
+    return sum(b.size for b in blocks)

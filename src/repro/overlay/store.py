@@ -1,0 +1,147 @@
+"""The possession index: who holds which blocks, cluster-wide.
+
+This is the controller's "global view of data delivery status" (§3).
+Besides membership queries it maintains the aggregates the scheduling and
+evaluation logic needs:
+
+* per-block duplicate counts (for rarest-first scheduling, §4.3);
+* per-DC possession (for completion detection);
+* delivery provenance (whether each delivered block came from the origin DC
+  or from an overlay path — the Fig. 13c measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.overlay.blocks import Block
+
+BlockId = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Provenance of one block delivery."""
+
+    block_id: BlockId
+    src_server: str
+    dst_server: str
+    time: float
+    from_origin_dc: bool
+
+
+class PossessionIndex:
+    """Tracks block possession per server with O(1) updates and lookups."""
+
+    def __init__(self, server_dc: Mapping[str, str]) -> None:
+        # server id -> DC name; fixed for the lifetime of the index.
+        self._server_dc: Dict[str, str] = dict(server_dc)
+        self._holders: Dict[BlockId, Set[str]] = {}
+        self._server_blocks: Dict[str, Set[BlockId]] = {
+            s: set() for s in self._server_dc
+        }
+        self._dc_counts: Dict[Tuple[str, BlockId], int] = {}
+        self.deliveries: List[DeliveryRecord] = []
+
+    # -- updates --------------------------------------------------------------
+
+    def seed(self, server_id: str, blocks: Iterable[Block]) -> None:
+        """Place initial copies (no delivery records; they were never sent)."""
+        for block in blocks:
+            self._add(block.block_id, server_id)
+
+    def record_delivery(
+        self,
+        block: Block,
+        src_server: str,
+        dst_server: str,
+        time: float,
+        origin_dc: str,
+    ) -> Optional[DeliveryRecord]:
+        """Register a completed transfer of ``block`` to ``dst_server``.
+
+        Returns the provenance record, or ``None`` if the destination
+        already held the block (duplicate delivery is a no-op).
+        """
+        if self.has(dst_server, block.block_id):
+            return None
+        self._add(block.block_id, dst_server)
+        record = DeliveryRecord(
+            block_id=block.block_id,
+            src_server=src_server,
+            dst_server=dst_server,
+            time=time,
+            from_origin_dc=self.dc_of(src_server) == origin_dc,
+        )
+        self.deliveries.append(record)
+        return record
+
+    def _add(self, block_id: BlockId, server_id: str) -> None:
+        if server_id not in self._server_dc:
+            raise KeyError(f"unknown server {server_id!r}")
+        holders = self._holders.setdefault(block_id, set())
+        if server_id in holders:
+            return
+        holders.add(server_id)
+        self._server_blocks[server_id].add(block_id)
+        dc = self._server_dc[server_id]
+        key = (dc, block_id)
+        self._dc_counts[key] = self._dc_counts.get(key, 0) + 1
+
+    def drop_server(self, server_id: str) -> None:
+        """Remove all copies on a failed server (disk loss)."""
+        for block_id in list(self._server_blocks.get(server_id, ())):
+            self._holders[block_id].discard(server_id)
+            dc = self._server_dc[server_id]
+            key = (dc, block_id)
+            self._dc_counts[key] -= 1
+            if self._dc_counts[key] == 0:
+                del self._dc_counts[key]
+        self._server_blocks[server_id] = set()
+
+    # -- queries ---------------------------------------------------------------
+
+    def dc_of(self, server_id: str) -> str:
+        return self._server_dc[server_id]
+
+    def has(self, server_id: str, block_id: BlockId) -> bool:
+        return block_id in self._server_blocks.get(server_id, ())
+
+    def holders(self, block_id: BlockId) -> Set[str]:
+        """Servers currently holding the block (copy; safe to mutate)."""
+        return set(self._holders.get(block_id, ()))
+
+    def duplicate_count(self, block_id: BlockId) -> int:
+        """Number of copies cluster-wide (the §4.3 rarity measure)."""
+        return len(self._holders.get(block_id, ()))
+
+    def blocks_on(self, server_id: str) -> Set[BlockId]:
+        return set(self._server_blocks.get(server_id, ()))
+
+    def dc_has_block(self, dc: str, block_id: BlockId) -> bool:
+        return self._dc_counts.get((dc, block_id), 0) > 0
+
+    def dc_copy_count(self, dc: str, block_id: BlockId) -> int:
+        return self._dc_counts.get((dc, block_id), 0)
+
+    # -- evaluation helpers -----------------------------------------------------
+
+    def origin_fraction_by_server(self) -> Dict[str, float]:
+        """Per destination server: fraction of deliveries from the origin DC.
+
+        The Fig. 13c statistic. Servers that never received anything are
+        omitted.
+        """
+        totals: Dict[str, int] = {}
+        from_origin: Dict[str, int] = {}
+        for record in self.deliveries:
+            totals[record.dst_server] = totals.get(record.dst_server, 0) + 1
+            if record.from_origin_dc:
+                from_origin[record.dst_server] = (
+                    from_origin.get(record.dst_server, 0) + 1
+                )
+        return {
+            server: from_origin.get(server, 0) / count
+            for server, count in totals.items()
+        }

@@ -1,0 +1,46 @@
+"""Shared low-level helpers: unit handling, seeded randomness, validation."""
+
+from repro.utils.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    Mbps,
+    MBps,
+    GBps,
+    Gbps,
+    format_bytes,
+    format_rate,
+    format_duration,
+    parse_size,
+    parse_rate,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_fraction,
+    check_type,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "Mbps",
+    "MBps",
+    "GBps",
+    "Gbps",
+    "format_bytes",
+    "format_rate",
+    "format_duration",
+    "parse_size",
+    "parse_rate",
+    "make_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_type",
+]

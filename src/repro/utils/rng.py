@@ -1,0 +1,40 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the reproduction (workload generator,
+decentralized baselines, latency model, failure injection) takes an explicit
+``numpy.random.Generator`` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Accepts an int seed, an existing generator (returned unchanged), or
+    ``None`` for OS entropy. Centralizing this keeps call sites uniform.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Used to give each simulated server/agent its own stream so that adding
+    an agent does not perturb the randomness seen by the others.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    root = make_rng(seed)
+    seeds = root.bit_generator._seed_seq  # type: ignore[attr-defined]
+    if seeds is None:
+        return [np.random.default_rng(root.integers(2**63)) for _ in range(count)]
+    return [np.random.default_rng(child) for child in seeds.spawn(count)]

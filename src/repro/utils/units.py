@@ -1,0 +1,108 @@
+"""Byte, rate, and time unit constants plus parsing/formatting helpers.
+
+Everything inside the simulator is expressed in *bytes* and *bytes per
+second*; these helpers keep workload and experiment configuration readable
+(the paper mixes MB, GB, TB, Mbps, MB/s and GB/s freely).
+"""
+
+from __future__ import annotations
+
+import re
+
+# Byte sizes (binary, matching the paper's 2MB-block arithmetic).
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+# Rates, in bytes per second.
+MBps = MB
+GBps = GB
+# Network rates quoted in bits per second.
+Mbps = 1000 * 1000 / 8.0
+Gbps = 1000 * Mbps
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+}
+
+_RATE_UNITS = {
+    "bps": 1 / 8.0,
+    "kbps": 1000 / 8.0,
+    "mbps": Mbps,
+    "gbps": Gbps,
+    "b/s": 1,
+    "kb/s": KB,
+    "mb/s": MBps,
+    "gb/s": GBps,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z/]+)\s*$")
+
+
+def parse_size(text: str) -> float:
+    """Parse a human-readable size like ``"2MB"`` or ``"1.5 TB"`` into bytes.
+
+    >>> parse_size("2MB")
+    2097152.0
+    """
+    match = _QUANTITY_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, unit = match.groups()
+    unit = unit.lower()
+    if unit not in _SIZE_UNITS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    return float(value) * _SIZE_UNITS[unit]
+
+
+def parse_rate(text: str) -> float:
+    """Parse a rate like ``"20Mbps"`` or ``"3 MB/s"`` into bytes/second.
+
+    Bit-based units (``Mbps``) use decimal prefixes as networks do;
+    byte-based units (``MB/s``) use binary prefixes to stay consistent with
+    :func:`parse_size`.
+    """
+    match = _QUANTITY_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable rate: {text!r}")
+    value, unit = match.groups()
+    unit = unit.lower()
+    if unit not in _RATE_UNITS:
+        raise ValueError(f"unknown rate unit {unit!r} in {text!r}")
+    return float(value) * _RATE_UNITS[unit]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with the largest sensible unit.
+
+    >>> format_bytes(3 * GB)
+    '3.00GB'
+    """
+    magnitude = abs(num_bytes)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if magnitude >= factor:
+            return f"{num_bytes / factor:.2f}{unit}"
+    return f"{num_bytes:.0f}B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Render a rate in the most readable byte-based unit."""
+    return format_bytes(bytes_per_second) + "/s"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration as seconds, minutes, or hours.
+
+    >>> format_duration(90)
+    '1.5m'
+    """
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.2f}h"

@@ -1,0 +1,46 @@
+"""Small argument-validation helpers shared across the library.
+
+These raise early with a message naming the offending parameter, which is
+far more useful inside a long simulation run than a late ``ZeroDivisionError``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0`` and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1`` and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_type(
+    name: str, value: Any, expected: Union[Type, Tuple[Type, ...]]
+) -> Any:
+    """Require ``isinstance(value, expected)`` and return the value."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else "/".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )
+    return value

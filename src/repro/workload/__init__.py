@@ -1,0 +1,24 @@
+"""Synthetic inter-DC multicast workloads matching the paper's §2 study."""
+
+from repro.workload.distributions import (
+    APP_PROFILES,
+    OVERALL_MULTICAST_SHARE,
+    PiecewiseLinearCDF,
+    destination_fraction_cdf,
+    transfer_size_cdf,
+)
+from repro.workload.generator import TransferRequest, WorkloadGenerator
+from repro.workload.traces import load_trace, save_trace, replay_as_jobs
+
+__all__ = [
+    "APP_PROFILES",
+    "OVERALL_MULTICAST_SHARE",
+    "PiecewiseLinearCDF",
+    "destination_fraction_cdf",
+    "transfer_size_cdf",
+    "TransferRequest",
+    "WorkloadGenerator",
+    "load_trace",
+    "save_trace",
+    "replay_as_jobs",
+]

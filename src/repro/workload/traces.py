@@ -1,0 +1,80 @@
+"""Trace persistence and replay.
+
+Traces are stored as JSON lines — one :class:`TransferRequest` per line —
+so that experiments can replay the exact chronological request order, as
+the paper's trace-driven simulations do ("replay inter-DC multicast data
+requests in the same chronological order as in the pilot deployment").
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.net.topology import Topology
+from repro.overlay.blocks import DEFAULT_BLOCK_SIZE
+from repro.overlay.job import MulticastJob
+from repro.workload.generator import TransferRequest, to_jobs
+
+PathLike = Union[str, Path]
+
+
+def save_trace(requests: Sequence[TransferRequest], path: PathLike) -> None:
+    """Write requests as JSON lines (sorted by arrival time)."""
+    ordered = sorted(requests, key=lambda r: r.arrival_time)
+    with open(path, "w", encoding="utf-8") as handle:
+        for request in ordered:
+            handle.write(
+                json.dumps(
+                    {
+                        "request_id": request.request_id,
+                        "app": request.app,
+                        "src_dc": request.src_dc,
+                        "dst_dcs": list(request.dst_dcs),
+                        "size_bytes": request.size_bytes,
+                        "arrival_time": request.arrival_time,
+                        "is_multicast": request.is_multicast,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_trace(path: PathLike) -> List[TransferRequest]:
+    """Read a JSON-lines trace back into requests (chronological order)."""
+    requests: List[TransferRequest] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"bad trace line {line_no}: {exc}") from exc
+            requests.append(
+                TransferRequest(
+                    request_id=raw["request_id"],
+                    app=raw["app"],
+                    src_dc=raw["src_dc"],
+                    dst_dcs=tuple(raw["dst_dcs"]),
+                    size_bytes=float(raw["size_bytes"]),
+                    arrival_time=float(raw["arrival_time"]),
+                    is_multicast=bool(raw["is_multicast"]),
+                )
+            )
+    requests.sort(key=lambda r: r.arrival_time)
+    return requests
+
+
+def replay_as_jobs(
+    path: PathLike,
+    topology: Topology,
+    block_size: float = DEFAULT_BLOCK_SIZE,
+    size_scale: float = 1.0,
+) -> List[MulticastJob]:
+    """Load a trace and convert its multicasts into bound simulator jobs."""
+    return to_jobs(
+        load_trace(path), topology, block_size=block_size, size_scale=size_scale
+    )

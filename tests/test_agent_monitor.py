@@ -1,0 +1,80 @@
+"""Agents and the Agent Monitor messaging layer."""
+
+import pytest
+
+from repro.net.latency import LatencyModel
+from repro.net.topology import Server
+from repro.overlay.agent import ServerAgent
+from repro.overlay.monitor import AgentMonitor, FeedbackLoopSample
+
+
+def make_agent(server_id="s0", dc="A") -> ServerAgent:
+    return ServerAgent(Server(server_id=server_id, dc=dc, uplink=1, downlink=1))
+
+
+class TestServerAgent:
+    def test_starts_healthy(self):
+        assert make_agent().healthy
+
+    def test_fail_and_recover(self):
+        agent = make_agent()
+        agent.fail()
+        assert not agent.healthy
+        agent.recover()
+        assert agent.healthy
+
+    def test_snapshot_carries_state(self):
+        agent = make_agent()
+        snap = agent.snapshot({("j", 0)}, report_delay=0.01)
+        assert snap.server_id == "s0"
+        assert snap.dc == "A"
+        assert snap.blocks == frozenset({("j", 0)})
+        assert snap.healthy
+        assert snap.report_delay == 0.01
+
+
+class TestAgentMonitor:
+    @pytest.fixture
+    def monitor(self) -> AgentMonitor:
+        return AgentMonitor(controller_dc="A", latency=LatencyModel(seed=0))
+
+    def test_collect_skips_failed_agents(self, monitor):
+        agents = [make_agent("s0", "A"), make_agent("s1", "B")]
+        agents[1].fail()
+        snapshots, delay = monitor.collect_status(agents, {})
+        assert [s.server_id for s in snapshots] == ["s0"]
+        assert delay > 0
+
+    def test_collect_delay_is_worst_case(self, monitor):
+        agents = [make_agent(f"s{i}", f"dc{i}") for i in range(5)]
+        snapshots, delay = monitor.collect_status(agents, {})
+        assert delay == max(s.report_delay for s in snapshots)
+
+    def test_collect_passes_block_sets(self, monitor):
+        agents = [make_agent("s0", "A")]
+        snapshots, _delay = monitor.collect_status(agents, {"s0": {("j", 1)}})
+        assert snapshots[0].blocks == frozenset({("j", 1)})
+
+    def test_push_decisions_positive_delay(self, monitor):
+        assert monitor.push_decisions(["B", "C"]) > 0
+
+    def test_push_to_nobody_is_free(self, monitor):
+        assert monitor.push_decisions([]) == 0.0
+
+    def test_feedback_loop_total(self, monitor):
+        agents = [make_agent(f"s{i}", f"dc{i}") for i in range(3)]
+        _snaps, sample = monitor.feedback_loop(agents, {}, algorithm_runtime=0.1)
+        assert isinstance(sample, FeedbackLoopSample)
+        assert sample.algorithm_runtime == 0.1
+        assert sample.total == pytest.approx(
+            sample.collect_delay + 0.1 + sample.push_delay
+        )
+
+    def test_feedback_loop_reasonable_magnitude(self, monitor):
+        # The Fig. 11c claim: mostly under 200 ms plus algorithm time.
+        agents = [make_agent(f"s{i}", f"dc{i % 5}") for i in range(20)]
+        totals = []
+        for _ in range(50):
+            _s, sample = monitor.feedback_loop(agents, {}, 0.02)
+            totals.append(sample.total)
+        assert sorted(totals)[int(0.8 * len(totals))] < 0.5

@@ -1,0 +1,88 @@
+"""The heavier experiment entry points, at reduced scale.
+
+The benchmarks run these at paper-shaped scale; these tests pin the same
+qualitative claims with smaller parameters so ``pytest tests/`` exercises
+every experiment code path quickly.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    exp_fig3_illustrative,
+    exp_fig5_gingko_vs_ideal,
+    exp_fig11a_controller_runtime,
+    exp_fig12b_block_size,
+    exp_fig12c_cycle_length,
+    exp_fig13a_runtime_comparison,
+    exp_fig13b_near_optimality,
+    exp_table3_overlay_comparison,
+)
+from repro.utils.units import GB, MB, MBps
+
+
+class TestFig3:
+    def test_overlay_ordering(self):
+        result = exp_fig3_illustrative(seed=3)
+        assert result.bds_s < result.chain_s < result.direct_s
+
+
+class TestFig5:
+    def test_gingko_gap_from_ideal(self):
+        result = exp_fig5_gingko_vs_ideal(
+            servers_per_dc=12, file_bytes=256 * MB, seed=5
+        )
+        assert result.median_ratio > 1.5
+        assert len(result.gingko_times) == 24  # 2 DCs x 12 servers
+
+
+class TestFig11a:
+    def test_runtime_grows_with_blocks(self):
+        result = exp_fig11a_controller_runtime(
+            block_counts=(300, 3000), seed=0
+        )
+        assert result.runtimes_s[1] > result.runtimes_s[0]
+        assert result.block_counts == [300, 3000]
+
+
+class TestFig12b:
+    def test_small_blocks_beat_large(self):
+        result = exp_fig12b_block_size(file_bytes=256 * MB, seed=12)
+        small = sum(result.per_dc_times["2M/blk"])
+        large = sum(result.per_dc_times["64M/blk"])
+        assert small < large
+        assert len(result.per_dc_times["2M/blk"]) == 10
+
+
+class TestFig12c:
+    def test_long_cycles_hurt(self):
+        result = exp_fig12c_cycle_length(
+            cycle_lengths=(1, 3, 30), file_bytes=256 * MB, seed=12
+        )
+        by_len = dict(zip(result.cycle_lengths_s, result.completion_times_s))
+        assert by_len[30] > by_len[3]
+        assert by_len[30] > by_len[1]
+
+
+class TestFig13:
+    def test_standard_lp_slower(self):
+        result = exp_fig13a_runtime_comparison(block_counts=(200, 800), seed=13)
+        for bds_t, lp_t in zip(
+            result.bds_runtimes_s, result.standard_lp_runtimes_s
+        ):
+            assert lp_t > bds_t
+
+    def test_near_optimality_small_scale(self):
+        result = exp_fig13b_near_optimality(block_counts=(30, 60), seed=13)
+        for bds_t, lp_t in zip(result.bds_times_s, result.standard_lp_times_s):
+            # BDS matches the joint LP within one cycle.
+            assert abs(bds_t - lp_t) <= 3.0 + 1e-9
+
+
+class TestTable3:
+    def test_baseline_setup_ordering(self):
+        result = exp_table3_overlay_comparison(
+            setups=("baseline",), seed=11
+        )
+        times = result.times["baseline"]
+        assert times["bds"] < times["bullet"]
+        assert times["bds"] < times["akamai"]

@@ -1,0 +1,97 @@
+"""JSON export of simulation results."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    EXPORT_FORMAT_VERSION,
+    load_result_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.cli import main
+from repro.core import BDSController
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+@pytest.fixture
+def result():
+    topo = Topology.full_mesh(
+        num_dcs=3, servers_per_dc=2, wan_capacity=1 * GB, uplink=10 * MBps
+    )
+    job = MulticastJob(
+        job_id="j", src_dc="dc0", dst_dcs=("dc1", "dc2"),
+        total_bytes=20 * MB, block_size=4 * MB,
+    )
+    job.bind(topo)
+    return Simulation(
+        topo, [job], BDSController(seed=0),
+        SimConfig(record_link_stats=True), seed=0,
+    ).run()
+
+
+class TestResultToDict:
+    def test_core_fields_present(self, result):
+        payload = result_to_dict(result)
+        assert payload["format_version"] == EXPORT_FORMAT_VERSION
+        assert payload["all_complete"] is True
+        assert payload["job_completion"]["j"] == result.completion_time("j")
+        assert payload["total_bytes_transferred"] > 0
+
+    def test_keys_are_flattened(self, result):
+        payload = result_to_dict(result)
+        assert "j/dc1" in payload["dc_completion"]
+        assert any(k.startswith("j/dc1-") for k in payload["server_completion"])
+
+    def test_cycles_optional(self, result):
+        with_cycles = result_to_dict(result, include_cycles=True)
+        without = result_to_dict(result, include_cycles=False)
+        assert "cycles" in with_cycles
+        assert "cycles" not in without
+
+    def test_cycle_entries_serializable(self, result):
+        payload = result_to_dict(result)
+        text = json.dumps(payload)  # must not raise
+        assert "wan:dc0:dc1" in text
+
+    def test_payload_is_json_roundtrippable(self, result):
+        payload = result_to_dict(result)
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        loaded = load_result_dict(path)
+        assert loaded["job_completion"]["j"] == result.completion_time("j")
+
+    def test_version_check(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format version"):
+            load_result_dict(path)
+
+
+class TestCliExport:
+    def test_simulate_json_flag(self, tmp_path, capsys):
+        out = tmp_path / "cli.json"
+        code = main(
+            [
+                "simulate",
+                "--num-dcs", "3",
+                "--size", "20MB",
+                "--block-size", "4MB",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        loaded = load_result_dict(out)
+        assert loaded["all_complete"] is True

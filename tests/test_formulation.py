@@ -1,0 +1,138 @@
+"""The joint (non-decoupled) formulation and the standard-LP router."""
+
+import pytest
+
+from repro.core import BDSController
+from repro.core.formulation import JointFormulation, StandardLPRouter
+from repro.core.scheduling import RarestFirstScheduler
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+def make_view(blocks=4):
+    topo = Topology.full_mesh(
+        num_dcs=2, servers_per_dc=2, wan_capacity=1 * GB, uplink=20 * MBps
+    )
+    job = MulticastJob(
+        job_id="j",
+        src_dc="dc0",
+        dst_dcs=("dc1",),
+        total_bytes=blocks * 2 * MB,
+        block_size=2 * MB,
+    )
+    job.bind(topo)
+    sim = Simulation(topo, [job], BDSController(seed=0), SimConfig())
+    return sim.snapshot_view()
+
+
+class TestStandardLPRouter:
+    def test_produces_valid_directives(self):
+        view = make_view()
+        selections = RarestFirstScheduler().select(view)
+        directives, diag = StandardLPRouter().route(view, selections)
+        assert directives
+        assert diag.backend == "standard-lp"
+        for d in directives:
+            assert d.rate_cap is not None and d.rate_cap > 0
+            assert view.store.has(d.src_server, d.block_ids[0])
+
+    def test_respects_capacities(self):
+        view = make_view(blocks=8)
+        selections = RarestFirstScheduler().select(view)
+        directives, _ = StandardLPRouter().route(view, selections)
+        usage = {}
+        for d in directives:
+            for res in view.topology.flow_resources(d.src_server, d.dst_server):
+                usage[res] = usage.get(res, 0.0) + (d.rate_cap or 0.0)
+        for res, used in usage.items():
+            assert used <= view.bulk_capacities[res] * 1.001
+
+    def test_empty_selection(self):
+        view = make_view()
+        directives, diag = StandardLPRouter().route(view, [])
+        assert directives == []
+        assert diag.num_selections == 0
+
+    def test_slower_than_decoupled_router_at_scale(self):
+        """The Fig. 13a claim: joint LP runtime grows much faster."""
+        view = make_view(blocks=128)
+        selections = RarestFirstScheduler().select(view)
+        controller = BDSController(seed=0)
+        _, fast = controller.router.route(view, selections)
+        _, slow = StandardLPRouter().route(view, selections)
+        assert slow.runtime > fast.runtime
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StandardLPRouter(max_sources_per_block=0)
+
+
+class TestJointFormulation:
+    def test_single_block_single_cycle(self):
+        plan = JointFormulation(
+            blocks=[6.0], paths_per_block=[[("l",)]], capacities={"l": 2.0}, dt=3.0
+        ).solve_min_cycles()
+        assert plan.feasible
+        assert plan.num_cycles == 1
+
+    def test_volume_needs_more_cycles(self):
+        plan = JointFormulation(
+            blocks=[12.0], paths_per_block=[[("l",)]], capacities={"l": 2.0}, dt=3.0
+        ).solve_min_cycles()
+        assert plan.num_cycles == 2
+
+    def test_parallel_paths_reduce_cycles(self):
+        single = JointFormulation(
+            blocks=[12.0], paths_per_block=[[("a",)]], capacities={"a": 2.0, "b": 2.0}
+        ).solve_min_cycles()
+        double = JointFormulation(
+            blocks=[12.0],
+            paths_per_block=[[("a",), ("b",)]],
+            capacities={"a": 2.0, "b": 2.0},
+        ).solve_min_cycles()
+        assert double.num_cycles < single.num_cycles
+
+    def test_contending_blocks(self):
+        # Two 6-unit blocks through one 2-unit/s link: 12 units / 6 per cycle.
+        plan = JointFormulation(
+            blocks=[6.0, 6.0],
+            paths_per_block=[[("l",)], [("l",)]],
+            capacities={"l": 2.0},
+        ).solve_min_cycles()
+        assert plan.num_cycles == 2
+
+    def test_infeasible_returns_flag(self):
+        plan = JointFormulation(
+            blocks=[1000.0], paths_per_block=[[("l",)]], capacities={"l": 0.001}
+        ).solve_min_cycles(max_cycles=3)
+        assert not plan.feasible
+
+    def test_flows_cover_blocks(self):
+        formulation = JointFormulation(
+            blocks=[6.0, 6.0],
+            paths_per_block=[[("a",)], [("b",)]],
+            capacities={"a": 2.0, "b": 2.0},
+        )
+        plan = formulation.solve_min_cycles()
+        shipped = {}
+        for (k, bi, pi), rate in plan.flows.items():
+            shipped[bi] = shipped.get(bi, 0.0) + rate * formulation.dt
+        assert shipped[0] >= 6.0 - 1e-6
+        assert shipped[1] >= 6.0 - 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JointFormulation(blocks=[], paths_per_block=[], capacities={})
+        with pytest.raises(ValueError):
+            JointFormulation(
+                blocks=[1.0], paths_per_block=[], capacities={}
+            )
+
+    def test_unknown_resource_raises(self):
+        formulation = JointFormulation(
+            blocks=[1.0], paths_per_block=[[("ghost",)]], capacities={"l": 1.0}
+        )
+        with pytest.raises(KeyError):
+            formulation.feasible_in(1)

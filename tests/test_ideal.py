@@ -1,0 +1,80 @@
+"""Analytic completion-time lower bounds."""
+
+import pytest
+
+from repro.baselines.ideal import (
+    ideal_completion_time,
+    ideal_server_time,
+    ideal_server_times,
+)
+from repro.core import BDSController
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+def build(uplink=10 * MBps, wan=1 * GB, servers=2, size=40 * MB):
+    topo = Topology.full_mesh(
+        num_dcs=3, servers_per_dc=servers, wan_capacity=wan, uplink=uplink
+    )
+    job = MulticastJob(
+        job_id="j",
+        src_dc="dc0",
+        dst_dcs=("dc1", "dc2"),
+        total_bytes=size,
+        block_size=4 * MB,
+    )
+    job.bind(topo)
+    return topo, job
+
+
+class TestIdealCompletionTime:
+    def test_nic_bound(self):
+        topo, job = build(uplink=10 * MBps, wan=1 * GB)
+        # Source egress: 2 servers x 10 MB/s = 20 MB/s; 40 MB -> 2 s.
+        assert ideal_completion_time(topo, job) == pytest.approx(2.0)
+
+    def test_wan_bound(self):
+        topo, job = build(uplink=100 * MBps, wan=10 * MBps)
+        # Destination WAN ingress: 2 links x 10 MB/s = 20 MB/s; 40 MB -> 2 s.
+        assert ideal_completion_time(topo, job) == pytest.approx(2.0)
+
+    def test_bound_scales_with_volume(self):
+        topo, job1 = build(size=40 * MB)
+        _, job2 = build(size=80 * MB)
+        assert ideal_completion_time(topo, job2) == pytest.approx(
+            2 * ideal_completion_time(topo, job1)
+        )
+
+    def test_simulation_never_beats_bound(self):
+        topo, job = build()
+        bound = ideal_completion_time(topo, job)
+        result = Simulation(
+            topo, [job], BDSController(seed=0), SimConfig(cycle_seconds=1.0), seed=0
+        ).run()
+        assert result.completion_time("j") >= bound * 0.999
+
+
+class TestIdealServerTimes:
+    def test_shard_time(self):
+        topo, job = build()
+        # 10 blocks of 4 MB over 2 servers: 5 blocks = 20 MB at 10 MB/s.
+        t = ideal_server_time(topo, job, "dc1-s0")
+        assert t == pytest.approx(2.0)
+
+    def test_rejects_non_destination(self):
+        topo, job = build()
+        with pytest.raises(ValueError):
+            ideal_server_time(topo, job, "dc0-s0")
+
+    def test_all_servers_covered(self):
+        topo, job = build()
+        times = ideal_server_times(topo, job)
+        assert set(times) == {"dc1-s0", "dc1-s1", "dc2-s0", "dc2-s1"}
+
+    def test_dc_bound_applied_to_slowest(self):
+        topo, job = build(uplink=100 * MBps, wan=10 * MBps)
+        times = ideal_server_times(topo, job)
+        # DC ingress bound: 40 MB / 20 MB/s = 2 s dominates shard times.
+        assert max(times[s] for s in ("dc1-s0", "dc1-s1")) >= 2.0

@@ -1,0 +1,106 @@
+"""Multicast jobs: validation, striping, placement."""
+
+import pytest
+
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+@pytest.fixture
+def topo() -> Topology:
+    return Topology.full_mesh(
+        num_dcs=3, servers_per_dc=2, wan_capacity=1 * GB, uplink=10 * MBps
+    )
+
+
+def make_job(**overrides) -> MulticastJob:
+    params = dict(
+        job_id="j",
+        src_dc="dc0",
+        dst_dcs=("dc1", "dc2"),
+        total_bytes=10 * MB,
+        block_size=2 * MB,
+    )
+    params.update(overrides)
+    return MulticastJob(**params)
+
+
+class TestValidation:
+    def test_needs_destination(self):
+        with pytest.raises(ValueError):
+            make_job(dst_dcs=())
+
+    def test_source_cannot_be_destination(self):
+        with pytest.raises(ValueError):
+            make_job(dst_dcs=("dc0",))
+
+    def test_relay_cannot_overlap_endpoints(self):
+        with pytest.raises(ValueError, match="relay"):
+            make_job(relay_dcs=("dc1",))
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            make_job(total_bytes=0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            make_job(arrival_time=-1)
+
+    def test_blocks_created(self):
+        job = make_job()
+        assert job.num_blocks == 5
+
+
+class TestStriping:
+    def test_bind_required_before_assignment(self):
+        job = make_job()
+        with pytest.raises(RuntimeError, match="not bound"):
+            job.assigned_server("dc1", ("j", 0))
+
+    def test_round_robin_striping(self, topo):
+        job = make_job()
+        job.bind(topo)
+        assert job.assigned_server("dc1", ("j", 0)) == "dc1-s0"
+        assert job.assigned_server("dc1", ("j", 1)) == "dc1-s1"
+        assert job.assigned_server("dc1", ("j", 2)) == "dc1-s0"
+
+    def test_initial_placement_covers_all_blocks(self, topo):
+        job = make_job()
+        job.bind(topo)
+        placement = job.initial_placement()
+        placed = [b for blocks in placement.values() for b in blocks]
+        assert sorted(placed) == sorted(job.blocks)
+        assert set(placement) <= {"dc0-s0", "dc0-s1"}
+
+    def test_destination_servers_partition_blocks(self, topo):
+        job = make_job()
+        job.bind(topo)
+        shard = job.destination_servers("dc1")
+        counts = {s: len(bs) for s, bs in shard.items()}
+        assert sum(counts.values()) == job.num_blocks
+        # 5 blocks over 2 servers: 3 + 2.
+        assert sorted(counts.values()) == [2, 3]
+
+    def test_relay_dc_striped_too(self, topo):
+        job = make_job(dst_dcs=("dc1",), relay_dcs=("dc2",))
+        job.bind(topo)
+        assert job.assigned_server("dc2", ("j", 0)) == "dc2-s0"
+
+    def test_bind_rejects_empty_dc(self):
+        topo = Topology()
+        topo.add_dc("dc0")
+        topo.add_dc("dc1")
+        topo.add_server("dc0-s0", "dc0", 1, 1)
+        topo.add_bidirectional_link("dc0", "dc1", 1)
+        job = make_job(dst_dcs=("dc1",))
+        with pytest.raises(ValueError, match="no servers"):
+            job.bind(topo)
+
+    def test_block_by_id(self, topo):
+        job = make_job()
+        assert job.block_by_id(("j", 2)).index == 2
+        with pytest.raises(KeyError):
+            job.block_by_id(("other", 0))
+        with pytest.raises(KeyError):
+            job.block_by_id(("j", 99))

@@ -1,0 +1,90 @@
+"""The LP model builder over scipy."""
+
+import pytest
+
+from repro.lp.model import LinearProgram, LPError
+
+
+class TestBuilder:
+    def test_duplicate_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            lp.add_variable("x")
+
+    def test_unknown_sense_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(ValueError, match="sense"):
+            lp.add_constraint({"x": 1}, "<", 1)
+
+    def test_unknown_variable_in_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(KeyError):
+            lp.add_constraint({"y": 1}, "<=", 1)
+
+    def test_counts(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_variable("y")
+        lp.add_constraint({"x": 1, "y": 1}, "<=", 1)
+        assert lp.num_variables == 2
+        assert lp.num_constraints == 1
+
+    def test_empty_model_raises(self):
+        with pytest.raises(LPError, match="empty"):
+            LinearProgram().solve()
+
+
+class TestSolve:
+    def test_simple_maximize(self):
+        lp = LinearProgram(maximize=True)
+        lp.add_variable("x", upper=4, objective=1.0)
+        lp.add_variable("y", upper=4, objective=1.0)
+        lp.add_constraint({"x": 1, "y": 2}, "<=", 6)
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(5.0)
+        assert solution["x"] == pytest.approx(4.0)
+        assert solution["y"] == pytest.approx(1.0)
+
+    def test_simple_minimize(self):
+        lp = LinearProgram(maximize=False)
+        lp.add_variable("x", objective=1.0)
+        lp.add_constraint({"x": 1}, ">=", 3)
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram(maximize=True)
+        lp.add_variable("x", objective=1.0)
+        lp.add_variable("y", objective=0.0)
+        lp.add_constraint({"x": 1, "y": 1}, "==", 5)
+        lp.add_constraint({"x": 1}, "<=", 2)
+        solution = lp.solve()
+        assert solution["x"] == pytest.approx(2.0)
+        assert solution["y"] == pytest.approx(3.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x", upper=1, objective=1.0)
+        lp.add_constraint({"x": 1}, ">=", 2)
+        with pytest.raises(LPError):
+            lp.solve()
+
+    def test_unbounded_raises(self):
+        lp = LinearProgram(maximize=True)
+        lp.add_variable("x", objective=1.0)  # no upper bound, no constraints
+        with pytest.raises(LPError):
+            lp.solve()
+
+    def test_set_objective_after_add(self):
+        lp = LinearProgram(maximize=True)
+        lp.add_variable("x", upper=2)
+        lp.set_objective("x", 3.0)
+        assert lp.solve().objective == pytest.approx(6.0)
+
+    def test_lower_bounds_respected(self):
+        lp = LinearProgram(maximize=False)
+        lp.add_variable("x", lower=2.0, objective=1.0)
+        assert lp.solve()["x"] == pytest.approx(2.0)

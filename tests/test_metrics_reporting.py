@@ -1,0 +1,109 @@
+"""Analysis metrics and text reporting."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    cdf_at,
+    empirical_cdf,
+    fraction_above,
+    percentile,
+    speedup,
+    summarize,
+)
+from repro.analysis.reporting import (
+    format_cdf_rows,
+    format_series,
+    format_table,
+    sparkline,
+)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.median == pytest.approx(3.0)
+        assert stats.minimum == 1
+        assert stats.maximum == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_p90(self):
+        stats = summarize(list(range(101)))
+        assert stats.p90 == pytest.approx(90.0)
+
+
+class TestCdfHelpers:
+    def test_empirical_cdf(self):
+        xs, ps = empirical_cdf([3, 1, 2])
+        assert xs == [1, 2, 3]
+        assert ps == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+
+    def test_fraction_above(self):
+        assert fraction_above([1, 2, 3, 4], 3) == pytest.approx(0.25)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+        with pytest.raises(ValueError):
+            cdf_at([], 0)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10, 2) == pytest.approx(5.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_table_float_formatting(self):
+        text = format_table(["v"], [[1234567.0], [0.0001]])
+        assert "1.23e+06" in text
+        assert "0.0001" in text
+
+    def test_cdf_rows(self):
+        text = format_cdf_rows([1.0] * 10, quantiles=(50, 90), unit="s")
+        assert "p50" in text
+        assert "1.000s" in text
+
+    def test_series_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [1.0])
+
+    def test_series_renders_rows(self):
+        text = format_series([1, 2], [0.5, 0.7], "cycle", "util")
+        assert "cycle" in text and "util" in text
+        assert len(text.splitlines()) == 4
+
+    def test_sparkline_monotonic(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert len(line) == 5
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_constant_series(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "   "

@@ -1,0 +1,65 @@
+"""Multiple concurrent jobs across all strategies."""
+
+import pytest
+
+from repro.analysis.runner import make_strategy
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+def multi_job_setup():
+    topo = Topology.full_mesh(
+        num_dcs=4, servers_per_dc=2, wan_capacity=200 * MBps, uplink=10 * MBps
+    )
+    jobs = [
+        MulticastJob(
+            job_id="logs", src_dc="dc0", dst_dcs=("dc1", "dc2"),
+            total_bytes=24 * MB, block_size=4 * MB,
+        ),
+        MulticastJob(
+            job_id="index", src_dc="dc3", dst_dcs=("dc0", "dc1"),
+            total_bytes=24 * MB, block_size=4 * MB,
+        ),
+        MulticastJob(
+            job_id="late", src_dc="dc1", dst_dcs=("dc2", "dc3"),
+            total_bytes=16 * MB, block_size=4 * MB, arrival_time=6.0,
+        ),
+    ]
+    for job in jobs:
+        job.bind(topo)
+    return topo, jobs
+
+
+@pytest.mark.parametrize(
+    "strategy_name", ["bds", "gingko", "bullet", "akamai", "chain", "direct"]
+)
+class TestMultiJob:
+    def test_all_jobs_complete(self, strategy_name):
+        topo, jobs = multi_job_setup()
+        strategy = make_strategy(strategy_name, seed=0)
+        result = Simulation(
+            topo, jobs, strategy, SimConfig(max_cycles=3000), seed=0
+        ).run()
+        assert result.all_complete, f"{strategy_name} left jobs incomplete"
+        assert set(result.job_completion) == {"logs", "index", "late"}
+
+    def test_jobs_do_not_cross_contaminate(self, strategy_name):
+        """Blocks of one job never land on servers as another job's data."""
+        topo, jobs = multi_job_setup()
+        strategy = make_strategy(strategy_name, seed=0)
+        result = Simulation(
+            topo, jobs, strategy, SimConfig(max_cycles=3000), seed=0
+        ).run()
+        for record in result.store.deliveries:
+            job_id, _index = record.block_id
+            assert job_id in {"logs", "index", "late"}
+
+    def test_late_arrival_starts_late(self, strategy_name):
+        topo, jobs = multi_job_setup()
+        strategy = make_strategy(strategy_name, seed=0)
+        result = Simulation(
+            topo, jobs, strategy, SimConfig(max_cycles=3000), seed=0
+        ).run()
+        assert result.completion_time("late") >= 6.0

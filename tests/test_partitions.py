@@ -1,0 +1,187 @@
+"""Failure-aware WAN rerouting and §5.3 partition handling."""
+
+import pytest
+
+from repro.core import BDSController
+from repro.net.failures import FailureEvent, FailureSchedule
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology, wan_key
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+def triangle(thin_direct=False):
+    topo = Topology()
+    for name in ("A", "B", "C"):
+        topo.add_dc(name)
+        for j in range(2):
+            topo.add_server(f"{name}-s{j}", name, uplink=20 * MBps, downlink=20 * MBps)
+    topo.add_bidirectional_link("A", "B", 100 * MBps)
+    topo.add_bidirectional_link("B", "C", 100 * MBps)
+    topo.add_bidirectional_link("A", "C", 5 * MBps if thin_direct else 100 * MBps)
+    return topo
+
+
+class TestFailureAwareRouting:
+    def test_route_detours_around_failed_link(self):
+        topo = triangle()
+        direct = topo.route("A", "C")
+        assert direct == (wan_key("A", "C"),)
+        detour = topo.route("A", "C", frozenset({("A", "C")}))
+        assert detour == (wan_key("A", "B"), wan_key("B", "C"))
+
+    def test_unreachable_raises(self):
+        topo = triangle()
+        cut = frozenset({("A", "C"), ("A", "B")})
+        with pytest.raises(ValueError, match="no WAN route"):
+            topo.route("A", "C", cut)
+
+    def test_flow_resources_respects_exclusions(self):
+        topo = triangle()
+        resources = topo.flow_resources(
+            "A-s0", "C-s0", frozenset({("A", "C")})
+        )
+        assert wan_key("A", "B") in resources
+        assert wan_key("A", "C") not in resources
+
+    def test_reachable_dcs(self):
+        topo = triangle()
+        assert topo.reachable_dcs("A") == frozenset({"A", "B", "C"})
+        cut = frozenset({("A", "B"), ("A", "C")})
+        assert topo.reachable_dcs("A", cut) == frozenset({"A"})
+
+    def test_reachable_unknown_dc(self):
+        with pytest.raises(ValueError):
+            triangle().reachable_dcs("X")
+
+    def test_route_cache_consistency(self):
+        topo = triangle()
+        cut = frozenset({("A", "C")})
+        first = topo.route("A", "C", cut)
+        second = topo.route("A", "C", cut)
+        assert first == second
+        # The unfailed table is untouched.
+        assert topo.route("A", "C") == (wan_key("A", "C"),)
+
+
+class TestReroutingInSimulation:
+    def test_transfer_survives_link_failure_via_detour(self):
+        """The A->C link dies mid-transfer; flows detour through B."""
+        topo = triangle()
+        job = MulticastJob(
+            job_id="j", src_dc="A", dst_dcs=("C",),
+            total_bytes=120 * MB, block_size=4 * MB,
+        )
+        job.bind(topo)
+        failures = FailureSchedule(
+            [FailureEvent(cycle=1, kind="link_fail", target=("A", "C"))]
+        )
+        result = Simulation(
+            topo,
+            [job],
+            BDSController(seed=0),
+            SimConfig(max_cycles=2000),
+            failures=failures,
+            seed=0,
+        ).run()
+        assert result.all_complete
+
+    def test_full_partition_stalls_then_recovers(self):
+        topo = triangle()
+        job = MulticastJob(
+            job_id="j", src_dc="A", dst_dcs=("C",),
+            total_bytes=60 * MB, block_size=4 * MB,
+        )
+        job.bind(topo)
+        failures = FailureSchedule(
+            [
+                FailureEvent(cycle=0, kind="link_fail", target=("A", "C")),
+                FailureEvent(cycle=0, kind="link_fail", target=("B", "C")),
+                FailureEvent(cycle=4, kind="link_recover", target=("B", "C")),
+            ]
+        )
+        result = Simulation(
+            topo,
+            [job],
+            BDSController(seed=0),
+            SimConfig(max_cycles=2000),
+            failures=failures,
+            seed=0,
+        ).run()
+        assert result.all_complete
+        # Nothing could reach C during the partition (cycles 0-3).
+        assert all(s.blocks_delivered == 0 for s in result.cycle_stats[:4])
+        assert result.completion_time("j") >= 4 * 3.0
+
+
+class TestControllerPartitionHandling:
+    def make_setup(self):
+        topo = Topology.full_mesh(
+            num_dcs=4, servers_per_dc=2, wan_capacity=100 * MBps, uplink=10 * MBps
+        )
+        job = MulticastJob(
+            job_id="j",
+            src_dc="dc0",
+            dst_dcs=("dc1", "dc2", "dc3"),
+            total_bytes=60 * MB,
+            block_size=4 * MB,
+        )
+        job.bind(topo)
+        return topo, job
+
+    def _sever_dc3_events(self):
+        # Cut every link touching dc3 in both directions.
+        events = []
+        for other in ("dc0", "dc1", "dc2"):
+            events.append(
+                FailureEvent(cycle=0, kind="link_fail", target=(other, "dc3"))
+            )
+            events.append(
+                FailureEvent(cycle=0, kind="link_fail", target=("dc3", other))
+            )
+        for event in list(events):
+            events.append(
+                FailureEvent(
+                    cycle=5, kind="link_recover", target=event.target
+                )
+            )
+        return [e for e in events if e.kind == "link_fail"] + [
+            FailureEvent(cycle=5, kind="link_recover", target=(o, "dc3"))
+            for o in ("dc0", "dc1", "dc2")
+        ] + [
+            FailureEvent(cycle=5, kind="link_recover", target=("dc3", o))
+            for o in ("dc0", "dc1", "dc2")
+        ]
+
+    def test_partitioned_dc_falls_back_others_centralized(self):
+        topo, job = self.make_setup()
+        controller = BDSController(seed=0, controller_dc="dc0")
+        failures = FailureSchedule(self._sever_dc3_events())
+        result = Simulation(
+            topo,
+            [job],
+            controller,
+            SimConfig(max_cycles=2000),
+            failures=failures,
+            seed=0,
+        ).run()
+        assert result.all_complete
+        # Reachable DCs finished before the partition healed at cycle 5;
+        # dc3 could only start after.
+        assert result.dc_completion[("j", "dc1")] < 15.0
+        assert result.dc_completion[("j", "dc3")] >= 15.0
+
+    def test_no_controller_dc_means_global_control(self):
+        topo, job = self.make_setup()
+        controller = BDSController(seed=0)  # controller_dc=None
+        failures = FailureSchedule(self._sever_dc3_events())
+        result = Simulation(
+            topo,
+            [job],
+            controller,
+            SimConfig(max_cycles=2000),
+            failures=failures,
+            seed=0,
+        ).run()
+        # Still completes (directives to dc3 are dropped until links heal).
+        assert result.all_complete

@@ -1,0 +1,77 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.plots import ascii_bars, ascii_cdf, ascii_xy
+
+
+class TestAsciiCdf:
+    def test_single_series(self):
+        chart = ascii_cdf({"sample": [1, 2, 3, 4, 5]})
+        assert "CDF" in chart
+        assert "* sample" in chart
+        assert "*" in chart.splitlines()[0] or any(
+            "*" in line for line in chart.splitlines()
+        )
+
+    def test_two_series_get_distinct_markers(self):
+        chart = ascii_cdf({"a": [1, 2, 3], "b": [2, 3, 4]})
+        assert "* a" in chart
+        assert "o b" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_constant_sample(self):
+        chart = ascii_cdf({"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in chart  # degenerate range handled
+
+
+class TestAsciiXy:
+    def test_basic_curve(self):
+        chart = ascii_xy([1, 2, 3, 4], [10, 20, 15, 40], y_label="time")
+        lines = chart.splitlines()
+        assert any("*" in line for line in lines)
+        assert "y: time" in chart
+
+    def test_log_x(self):
+        chart = ascii_xy(
+            [10, 100, 1000], [1, 2, 3], log_x=True, x_label="blocks"
+        )
+        assert "blocks (log)" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_xy([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ascii_xy([], [])
+
+    def test_axis_labels_show_range(self):
+        chart = ascii_xy([0, 100], [0, 50])
+        assert "100" in chart
+        assert "50" in chart
+
+
+class TestAsciiBars:
+    def test_bars_scale_to_peak(self):
+        chart = ascii_bars({"bds": 10.0, "gingko": 40.0}, width=20)
+        lines = chart.splitlines()
+        bds_len = lines[0].count("█")
+        gingko_len = lines[1].count("█")
+        assert gingko_len == 20
+        assert bds_len == 5
+
+    def test_unit_suffix(self):
+        chart = ascii_bars({"a": 3.0}, unit="s")
+        assert "3s" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars({"a": 0.0})

@@ -1,0 +1,117 @@
+"""ControllerReplicaSet and AgentMonitor wired into the simulation."""
+
+import pytest
+
+from repro.core import BDSController, ControllerReplicaSet
+from repro.net.failures import FailureEvent, FailureSchedule
+from repro.net.latency import LatencyModel
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.monitor import AgentMonitor
+from repro.utils.units import GB, MB, MBps
+
+
+def setup(size=60 * MB, uplink=2 * MBps):
+    topo = Topology.full_mesh(
+        num_dcs=3, servers_per_dc=2, wan_capacity=1 * GB, uplink=uplink
+    )
+    from repro.overlay.job import MulticastJob
+
+    job = MulticastJob(
+        job_id="j", src_dc="dc0", dst_dcs=("dc1", "dc2"),
+        total_bytes=size, block_size=4 * MB,
+    )
+    job.bind(topo)
+    return topo, job
+
+
+class TestReplicaIntegration:
+    def test_leader_failover_keeps_centralized_control(self):
+        """Killing one replica triggers an election, not a fallback."""
+        topo, job = setup()
+        replicas = ControllerReplicaSet()
+        failures = FailureSchedule(
+            [FailureEvent(cycle=2, kind="replica_fail", target="controller-0")]
+        )
+        controller = BDSController(seed=0)
+        result = Simulation(
+            topo,
+            [job],
+            controller,
+            SimConfig(max_cycles=3000),
+            failures=failures,
+            replica_set=replicas,
+            seed=0,
+        ).run()
+        assert result.all_complete
+        assert replicas.leader == "controller-1"
+        # The election completed within the cycle; control never lapsed.
+        assert all(s.controller_available for s in result.cycle_stats)
+
+    def test_losing_all_replicas_triggers_fallback(self):
+        topo, job = setup()
+        replicas = ControllerReplicaSet()
+        events = [
+            FailureEvent(cycle=2, kind="replica_fail", target=name)
+            for name in ("controller-0", "controller-1", "controller-2")
+        ] + [
+            FailureEvent(cycle=6, kind="replica_recover", target="controller-0")
+        ]
+        controller = BDSController(seed=0)
+        result = Simulation(
+            topo,
+            [job],
+            controller,
+            SimConfig(max_cycles=3000),
+            failures=FailureSchedule(events),
+            replica_set=replicas,
+            seed=0,
+        ).run()
+        assert result.all_complete
+        down_cycles = [
+            s.cycle for s in result.cycle_stats if not s.controller_available
+        ]
+        assert down_cycles and min(down_cycles) == 2
+        assert max(down_cycles) <= 6  # leader back by cycle 6's election
+
+    def test_replica_events_require_replica_set(self):
+        """Without a replica set, replica events are inert (no crash)."""
+        topo, job = setup(size=12 * MB, uplink=10 * MBps)
+        failures = FailureSchedule(
+            [FailureEvent(cycle=0, kind="replica_fail", target="controller-0")]
+        )
+        result = Simulation(
+            topo,
+            [job],
+            BDSController(seed=0),
+            SimConfig(max_cycles=100),
+            failures=failures,
+            seed=0,
+        ).run()
+        assert result.all_complete
+
+
+class TestMonitorIntegration:
+    def test_feedback_samples_collected(self):
+        topo, job = setup(size=24 * MB, uplink=10 * MBps)
+        monitor = AgentMonitor(controller_dc="dc0", latency=LatencyModel(seed=1))
+        result = Simulation(
+            topo,
+            [job],
+            BDSController(seed=0),
+            SimConfig(max_cycles=100),
+            agent_monitor=monitor,
+            seed=0,
+        ).run()
+        assert result.all_complete
+        assert len(result.feedback_samples) == result.cycles_run
+        for sample in result.feedback_samples:
+            assert sample.total > 0
+            assert sample.algorithm_runtime >= 0
+
+    def test_no_monitor_means_no_samples(self):
+        topo, job = setup(size=12 * MB, uplink=10 * MBps)
+        result = Simulation(
+            topo, [job], BDSController(seed=0), SimConfig(max_cycles=100), seed=0
+        ).run()
+        assert result.feedback_samples == []

@@ -1,0 +1,91 @@
+"""The rarest-first scheduling step."""
+
+import pytest
+
+from repro.core import BDSController
+from repro.core.scheduling import RarestFirstScheduler
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+@pytest.fixture
+def sim():
+    topo = Topology.full_mesh(
+        num_dcs=3, servers_per_dc=2, wan_capacity=1 * GB, uplink=10 * MBps
+    )
+    job = MulticastJob(
+        job_id="j",
+        src_dc="dc0",
+        dst_dcs=("dc1", "dc2"),
+        total_bytes=12 * MB,
+        block_size=2 * MB,
+    )
+    job.bind(topo)
+    return Simulation(topo, [job], BDSController(seed=0), SimConfig())
+
+
+class TestSelection:
+    def test_selects_all_pending_by_default(self, sim):
+        view = sim.snapshot_view()
+        selections = RarestFirstScheduler().select(view)
+        # 6 blocks x 2 destination DCs.
+        assert len(selections) == 12
+
+    def test_cap_limits_selection(self, sim):
+        view = sim.snapshot_view()
+        selections = RarestFirstScheduler(max_blocks_per_cycle=5).select(view)
+        assert len(selections) == 5
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            RarestFirstScheduler(max_blocks_per_cycle=-1)
+
+    def test_rarest_blocks_first(self, sim):
+        view = sim.snapshot_view()
+        job = view.jobs[0]
+        # Give block 5 an extra copy: it becomes the most replicated.
+        extra = job.blocks[5]
+        view.store.seed("dc1-s1", [extra])
+        selections = RarestFirstScheduler().select(view)
+        duplicates = [s.duplicates for s in selections]
+        assert duplicates == sorted(duplicates)
+        # Block 5's remaining delivery (to dc2) sorts last.
+        assert selections[-1].block.index == 5
+
+    def test_failed_destination_excluded(self, sim):
+        view = sim.snapshot_view()
+        view.failed_agents.add("dc1-s0")
+        selections = RarestFirstScheduler().select(view)
+        assert all(s.dst_server != "dc1-s0" for s in selections)
+
+    def test_blocks_without_sources_excluded(self, sim):
+        view = sim.snapshot_view()
+        # Fail every origin holder of block 0 (it lives on dc0-s0).
+        view.failed_agents.add("dc0-s0")
+        selections = RarestFirstScheduler().select(view)
+        assert all(s.block.index != 0 for s in selections)
+
+    def test_delivered_blocks_not_reselected(self, sim):
+        view = sim.snapshot_view()
+        job = view.jobs[0]
+        block = job.blocks[0]
+        dst = job.assigned_server("dc1", block.block_id)
+        view.store.record_delivery(block, "dc0-s0", dst, 1.0, "dc0")
+        selections = RarestFirstScheduler().select(view)
+        pairs = {(s.block.index, s.dst_dc) for s in selections}
+        assert (0, "dc1") not in pairs
+        assert (0, "dc2") in pairs
+
+    def test_runtime_recorded(self, sim):
+        scheduler = RarestFirstScheduler()
+        scheduler.select(sim.snapshot_view())
+        assert scheduler.last_runtime >= 0.0
+
+    def test_selection_carries_metadata(self, sim):
+        view = sim.snapshot_view()
+        selection = RarestFirstScheduler().select(view)[0]
+        assert selection.job_id == "j"
+        assert selection.dst_dc in ("dc1", "dc2")
+        assert selection.duplicates == 1

@@ -1,0 +1,392 @@
+"""The cycle-driven simulator: directives, progress, completion, failures."""
+
+import pytest
+
+from repro.baselines.base import OverlayStrategy
+from repro.net.background import BackgroundTraffic
+from repro.net.failures import FailureEvent, FailureSchedule
+from repro.net.simulator import SimConfig, Simulation, TransferDirective
+from repro.net.topology import Topology, wan_key
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+class ScriptedStrategy(OverlayStrategy):
+    """Emits a fixed decision function; used to isolate simulator behavior."""
+
+    def __init__(self, decide_fn, uses_rates=False):
+        self._fn = decide_fn
+        self.uses_controller_rates = uses_rates
+
+    def decide(self, view):
+        return self._fn(view)
+
+
+def two_dc_topology(uplink=10 * MBps, wan=1 * GB) -> Topology:
+    return Topology.full_mesh(
+        num_dcs=2, servers_per_dc=2, wan_capacity=wan, uplink=uplink
+    )
+
+
+def one_block_job(topo, size=30 * MB) -> MulticastJob:
+    job = MulticastJob(
+        job_id="j", src_dc="dc0", dst_dcs=("dc1",), total_bytes=size,
+        block_size=size,
+    )
+    job.bind(topo)
+    return job
+
+
+class TestDirectiveValidation:
+    def test_needs_blocks(self):
+        with pytest.raises(ValueError):
+            TransferDirective(job_id="j", block_ids=(), src_server="a", dst_server="b")
+
+    def test_endpoints_differ(self):
+        with pytest.raises(ValueError):
+            TransferDirective(
+                job_id="j", block_ids=(("j", 0),), src_server="a", dst_server="a"
+            )
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TransferDirective(
+                job_id="j",
+                block_ids=(("j", 0),),
+                src_server="a",
+                dst_server="b",
+                rate_cap=-1,
+            )
+
+
+class TestProgress:
+    def test_single_block_transfer_time(self):
+        """30 MB over a 10 MB/s uplink should take 3 seconds (one cycle)."""
+        topo = two_dc_topology()
+        job = one_block_job(topo)
+
+        def decide(view):
+            return [
+                TransferDirective(
+                    job_id="j",
+                    block_ids=(("j", 0),),
+                    src_server="dc0-s0",
+                    dst_server="dc1-s0",
+                )
+            ]
+
+        sim = Simulation(topo, [job], ScriptedStrategy(decide), SimConfig())
+        result = sim.run()
+        assert result.all_complete
+        assert result.completion_time("j") == pytest.approx(3.0)
+
+    def test_partial_progress_persists_across_cycles(self):
+        """60 MB at 10 MB/s = 6 s = two 3-second cycles."""
+        topo = two_dc_topology()
+        job = one_block_job(topo, size=60 * MB)
+
+        def decide(view):
+            return [
+                TransferDirective(
+                    job_id="j",
+                    block_ids=(("j", 0),),
+                    src_server="dc0-s0",
+                    dst_server="dc1-s0",
+                )
+            ]
+
+        result = Simulation(topo, [job], ScriptedStrategy(decide), SimConfig()).run()
+        assert result.completion_time("j") == pytest.approx(6.0)
+
+    def test_rate_caps_honoured(self):
+        """A 5 MB/s cap on a 10 MB/s NIC doubles the transfer time."""
+        topo = two_dc_topology()
+        job = one_block_job(topo, size=30 * MB)
+
+        def decide(view):
+            return [
+                TransferDirective(
+                    job_id="j",
+                    block_ids=(("j", 0),),
+                    src_server="dc0-s0",
+                    dst_server="dc1-s0",
+                    rate_cap=5 * MBps,
+                )
+            ]
+
+        result = Simulation(
+            topo, [job], ScriptedStrategy(decide, uses_rates=True), SimConfig()
+        ).run()
+        assert result.completion_time("j") == pytest.approx(6.0)
+
+    def test_oversubscribed_rates_are_clipped(self):
+        """Two 10 MB/s requests through one 10 MB/s uplink are halved."""
+        topo = two_dc_topology()
+        job = MulticastJob(
+            job_id="j", src_dc="dc0", dst_dcs=("dc1",),
+            total_bytes=30 * MB, block_size=15 * MB,
+        )
+        job.bind(topo)
+
+        def decide(view):
+            out = []
+            for i, dst in enumerate(("dc1-s0", "dc1-s1")):
+                bid = ("j", i)
+                if not view.store.has(dst, bid):
+                    out.append(
+                        TransferDirective(
+                            job_id="j",
+                            block_ids=(bid,),
+                            src_server="dc0-s0",
+                            dst_server=dst,
+                            rate_cap=10 * MBps,
+                        )
+                    )
+            return out
+
+        # Striping starts block 1 on dc0-s1; seed a copy on dc0-s0 so both
+        # flows contend for the same 10 MB/s uplink.
+        result = Simulation(
+            topo,
+            [job],
+            ScriptedStrategy(decide, uses_rates=True),
+            SimConfig(),
+            pre_seeded={"dc0-s0": [job.blocks[1]]},
+        ).run()
+        # Both pull 15 MB from dc0-s0's 10 MB/s uplink at 5 MB/s each -> 3 s.
+        assert result.completion_time("j") == pytest.approx(3.0)
+
+    def test_useless_directives_filtered(self):
+        """Directives for blocks the source lacks are dropped, not fatal."""
+        topo = two_dc_topology()
+        job = one_block_job(topo)
+
+        def decide(view):
+            return [
+                TransferDirective(
+                    job_id="j",
+                    block_ids=(("j", 0),),
+                    src_server="dc1-s1",  # holds nothing
+                    dst_server="dc1-s0",
+                )
+            ]
+
+        result = Simulation(
+            topo, [job], ScriptedStrategy(decide), SimConfig(max_cycles=3)
+        ).run()
+        assert not result.all_complete
+        assert all(s.active_flows == 0 for s in result.cycle_stats)
+
+    def test_unknown_server_raises(self):
+        topo = two_dc_topology()
+        job = one_block_job(topo)
+
+        def decide(view):
+            return [
+                TransferDirective(
+                    job_id="j",
+                    block_ids=(("j", 0),),
+                    src_server="ghost",
+                    dst_server="dc1-s0",
+                )
+            ]
+
+        sim = Simulation(topo, [job], ScriptedStrategy(decide), SimConfig())
+        with pytest.raises(KeyError):
+            sim.run()
+
+
+class TestCompletionTracking:
+    def test_server_and_dc_completion(self):
+        topo = two_dc_topology()
+        job = MulticastJob(
+            job_id="j", src_dc="dc0", dst_dcs=("dc1",),
+            total_bytes=20 * MB, block_size=10 * MB,
+        )
+        job.bind(topo)
+
+        def decide(view):
+            out = []
+            for block, _dc, server in view.pending_deliveries(job):
+                src = next(iter(view.eligible_sources(block.block_id)))
+                out.append(
+                    TransferDirective(
+                        job_id="j",
+                        block_ids=(block.block_id,),
+                        src_server=src,
+                        dst_server=server,
+                    )
+                )
+            return out
+
+        result = Simulation(topo, [job], ScriptedStrategy(decide), SimConfig()).run()
+        assert ("j", "dc1-s0") in result.server_completion
+        assert ("j", "dc1-s1") in result.server_completion
+        assert ("j", "dc1") in result.dc_completion
+        assert result.job_completion["j"] == result.dc_completion[("j", "dc1")]
+
+    def test_job_arrival_delays_start(self):
+        topo = two_dc_topology()
+        job = one_block_job(topo)
+        job.arrival_time = 9.0  # cycle 3
+
+        def decide(view):
+            assert all(j.arrival_time <= view.time for j in view.jobs)
+            out = []
+            for j in view.jobs:
+                for block, _dc, server in view.pending_deliveries(j):
+                    src = next(iter(view.eligible_sources(block.block_id)))
+                    out.append(
+                        TransferDirective(
+                            job_id=j.job_id,
+                            block_ids=(block.block_id,),
+                            src_server=src,
+                            dst_server=server,
+                        )
+                    )
+            return out
+
+        result = Simulation(topo, [job], ScriptedStrategy(decide), SimConfig()).run()
+        assert result.completion_time("j") >= 9.0
+
+    def test_max_cycles_stops_incomplete_run(self):
+        topo = two_dc_topology()
+        job = one_block_job(topo, size=1 * GB)
+
+        def decide(view):
+            return []
+
+        result = Simulation(
+            topo, [job], ScriptedStrategy(decide), SimConfig(max_cycles=5)
+        ).run()
+        assert not result.all_complete
+        assert len(result.cycle_stats) == 5
+        with pytest.raises(KeyError):
+            result.completion_time("j")
+
+
+class TestFailuresAndBackground:
+    def test_failed_agents_excluded(self):
+        topo = two_dc_topology()
+        job = one_block_job(topo)
+        failures = FailureSchedule(
+            [FailureEvent(cycle=0, kind="agent_fail", target="dc0-s0")]
+        )
+
+        def decide(view):
+            assert "dc0-s0" in view.failed_agents
+            return [
+                TransferDirective(
+                    job_id="j",
+                    block_ids=(("j", 0),),
+                    src_server="dc0-s0",
+                    dst_server="dc1-s0",
+                )
+            ]
+
+        result = Simulation(
+            topo,
+            [job],
+            ScriptedStrategy(decide),
+            SimConfig(max_cycles=2),
+            failures=failures,
+        ).run()
+        assert not result.all_complete  # only source failed; no transfer ran
+
+    def test_failed_link_zeroes_bulk_capacity(self):
+        topo = two_dc_topology()
+        job = one_block_job(topo)
+        failures = FailureSchedule(
+            [FailureEvent(cycle=0, kind="link_fail", target=("dc0", "dc1"))]
+        )
+
+        def decide(view):
+            assert view.bulk_capacities[wan_key("dc0", "dc1")] == 0.0
+            return []
+
+        Simulation(
+            topo,
+            [job],
+            ScriptedStrategy(decide),
+            SimConfig(max_cycles=1),
+            failures=failures,
+        ).run()
+
+    def test_background_reduces_bulk_budget(self):
+        topo = two_dc_topology(wan=100 * MBps)
+        job = one_block_job(topo)
+        bg = BackgroundTraffic(
+            base_fraction=0.5, diurnal_fraction=0.0, noise_fraction=0.0, seed=0
+        )
+
+        class ThresholdStrategy(ScriptedStrategy):
+            respects_safety_threshold = True
+
+        def decide(view):
+            budget = view.bulk_capacities[wan_key("dc0", "dc1")]
+            # 0.8 * 100 - 50 = 30 MB/s.
+            assert budget == pytest.approx(30 * MBps)
+            return []
+
+        Simulation(
+            topo,
+            [job],
+            ThresholdStrategy(decide),
+            SimConfig(max_cycles=1),
+            background=bg,
+        ).run()
+
+    def test_controller_unavailable_flag_propagates(self):
+        topo = two_dc_topology()
+        job = one_block_job(topo)
+        failures = FailureSchedule(
+            [FailureEvent(cycle=1, kind="controller_fail")]
+        )
+        seen = []
+
+        def decide(view):
+            seen.append(view.controller_available)
+            return []
+
+        Simulation(
+            topo,
+            [job],
+            ScriptedStrategy(decide),
+            SimConfig(max_cycles=3),
+            failures=failures,
+        ).run()
+        assert seen == [True, False, False]
+
+
+class TestPreSeeding:
+    def test_pre_seeded_assigned_blocks_count_delivered(self):
+        topo = two_dc_topology()
+        job = MulticastJob(
+            job_id="j", src_dc="dc0", dst_dcs=("dc1",),
+            total_bytes=20 * MB, block_size=10 * MB,
+        )
+        job.bind(topo)
+        # Seed both shard blocks directly onto their assigned servers.
+        seeded = {
+            "dc1-s0": [job.blocks[0]],
+            "dc1-s1": [job.blocks[1]],
+        }
+        result = Simulation(
+            topo,
+            [job],
+            ScriptedStrategy(lambda v: []),
+            SimConfig(max_cycles=2),
+            pre_seeded=seeded,
+        ).run()
+        assert result.all_complete
+        assert result.completion_time("j") == 0.0
+
+    def test_snapshot_view_reflects_state(self):
+        topo = two_dc_topology()
+        job = one_block_job(topo)
+        sim = Simulation(topo, [job], ScriptedStrategy(lambda v: []), SimConfig())
+        view = sim.snapshot_view()
+        assert view.cycle == 0
+        assert view.store.has("dc0-s0", ("j", 0))
+        pending = view.pending_deliveries(job)
+        assert len(pending) == 1

@@ -1,0 +1,173 @@
+"""Speculated delivery status (§5.1 non-blocking update)."""
+
+import pytest
+
+from repro.core import BDSConfig, BDSController
+from repro.core.speculation import (
+    DeliverySpeculator,
+    SpeculatedDelivery,
+    SpeculatedView,
+)
+from repro.net.simulator import SimConfig, Simulation, TransferDirective
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+
+
+@pytest.fixture
+def setup():
+    topo = Topology.full_mesh(
+        num_dcs=2, servers_per_dc=2, wan_capacity=1 * GB, uplink=10 * MBps
+    )
+    job = MulticastJob(
+        job_id="j",
+        src_dc="dc0",
+        dst_dcs=("dc1",),
+        total_bytes=8 * MB,
+        block_size=2 * MB,
+    )
+    job.bind(topo)
+    sim = Simulation(topo, [job], BDSController(seed=0), SimConfig())
+    return sim.snapshot_view(), job
+
+
+class TestDeliverySpeculator:
+    def test_speculates_blocks_within_horizon(self, setup):
+        view, job = setup
+        directive = TransferDirective(
+            job_id="j",
+            block_ids=(("j", 0), ("j", 2)),
+            src_server="dc0-s0",
+            dst_server="dc1-s0",
+            rate_cap=2 * MBps,
+        )
+        sizes = {b.block_id: b.size for b in job.blocks}
+        # Horizon of 1.5 s at 2 MB/s moves 3 MB: block 0 (2 MB) completes,
+        # block 2 does not.
+        speculator = DeliverySpeculator(horizon_seconds=1.5)
+        out = speculator.speculate(view, [directive], sizes)
+        assert [d.block_id for d in out] == [("j", 0)]
+
+    def test_uncapped_directives_skipped(self, setup):
+        view, job = setup
+        directive = TransferDirective(
+            job_id="j",
+            block_ids=(("j", 0),),
+            src_server="dc0-s0",
+            dst_server="dc1-s0",
+        )
+        sizes = {b.block_id: b.size for b in job.blocks}
+        assert DeliverySpeculator(10.0).speculate(view, [directive], sizes) == []
+
+    def test_already_delivered_blocks_skipped(self, setup):
+        view, job = setup
+        block = job.blocks[0]
+        view.store.record_delivery(block, "dc0-s0", "dc1-s0", 1.0, "dc0")
+        directive = TransferDirective(
+            job_id="j",
+            block_ids=(block.block_id,),
+            src_server="dc0-s0",
+            dst_server="dc1-s0",
+            rate_cap=100 * MBps,
+        )
+        sizes = {b.block_id: b.size for b in job.blocks}
+        assert DeliverySpeculator(10.0).speculate(view, [directive], sizes) == []
+
+    def test_partial_progress_counts(self, setup):
+        view, job = setup
+        block = job.blocks[0]
+        view._partial[(block.block_id, "dc1-s0")] = block.size - 1000
+        directive = TransferDirective(
+            job_id="j",
+            block_ids=(block.block_id,),
+            src_server="dc0-s0",
+            dst_server="dc1-s0",
+            rate_cap=2000.0,
+        )
+        sizes = {b.block_id: b.size for b in job.blocks}
+        out = DeliverySpeculator(1.0).speculate(view, [directive], sizes)
+        assert [d.block_id for d in out] == [block.block_id]
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            DeliverySpeculator(-1.0)
+
+
+class TestSpeculatedView:
+    def test_overlay_reflects_speculation(self, setup):
+        view, job = setup
+        block = job.blocks[0]
+        spec = SpeculatedView(
+            view,
+            [
+                SpeculatedDelivery(
+                    block_id=block.block_id,
+                    dst_server="dc1-s0",
+                    src_server="dc0-s0",
+                )
+            ],
+        )
+        assert spec.store.has("dc1-s0", block.block_id)
+        assert "dc1-s0" in spec.store.holders(block.block_id)
+        assert spec.store.duplicate_count(block.block_id) == 2
+        assert spec.store.dc_has_block("dc1", block.block_id)
+
+    def test_underlying_store_unchanged(self, setup):
+        view, job = setup
+        block = job.blocks[0]
+        SpeculatedView(
+            view,
+            [
+                SpeculatedDelivery(
+                    block_id=block.block_id,
+                    dst_server="dc1-s0",
+                    src_server="dc0-s0",
+                )
+            ],
+        )
+        assert not view.store.has("dc1-s0", block.block_id)
+
+    def test_pending_deliveries_shrink(self, setup):
+        view, job = setup
+        block = job.blocks[0]
+        spec = SpeculatedView(
+            view,
+            [
+                SpeculatedDelivery(
+                    block_id=block.block_id,
+                    dst_server=job.assigned_server("dc1", block.block_id),
+                    src_server="dc0-s0",
+                )
+            ],
+        )
+        before = len(view.pending_deliveries(job))
+        after = len(spec.pending_deliveries(job))
+        assert after == before - 1
+
+
+class TestControllerIntegration:
+    def test_speculating_controller_still_completes(self):
+        topo = Topology.full_mesh(
+            num_dcs=3, servers_per_dc=2, wan_capacity=1 * GB, uplink=10 * MBps
+        )
+        job = MulticastJob(
+            job_id="j",
+            src_dc="dc0",
+            dst_dcs=("dc1", "dc2"),
+            total_bytes=60 * MB,
+            block_size=4 * MB,
+        )
+        job.bind(topo)
+        config = BDSConfig(speculation_horizon=0.3)
+        result = Simulation(
+            topo,
+            [job],
+            BDSController(config=config, seed=0),
+            SimConfig(max_cycles=2000),
+            seed=0,
+        ).run()
+        assert result.all_complete
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BDSConfig(speculation_horizon=-0.1)

@@ -1,0 +1,94 @@
+"""Unit handling: parsing, formatting, constants."""
+
+import math
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    GBps,
+    Gbps,
+    MBps,
+    Mbps,
+    format_bytes,
+    format_duration,
+    format_rate,
+    parse_rate,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_byte_hierarchy(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_bit_rates_are_decimal(self):
+        # 20 Mbps = 2.5 decimal megabytes per second.
+        assert Mbps * 20 == pytest.approx(2.5e6)
+        assert Gbps == 1000 * Mbps
+
+    def test_byte_rates_are_binary(self):
+        assert MBps == MB
+        assert GBps == GB
+
+
+class TestParseSize:
+    def test_simple(self):
+        assert parse_size("2MB") == 2 * MB
+
+    def test_fractional_with_space(self):
+        assert parse_size("1.5 TB") == 1.5 * TB
+
+    def test_case_insensitive(self):
+        assert parse_size("3gb") == 3 * GB
+
+    def test_plain_bytes(self):
+        assert parse_size("512B") == 512
+
+    @pytest.mark.parametrize("bad", ["", "MB", "12", "1.2.3MB", "5PB"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+
+class TestParseRate:
+    def test_bit_rate(self):
+        assert parse_rate("20Mbps") == pytest.approx(2.5e6)
+
+    def test_byte_rate(self):
+        assert parse_rate("3 MB/s") == 3 * MBps
+
+    def test_gigabit(self):
+        assert parse_rate("1Gbps") == pytest.approx(1.25e8)
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(ValueError):
+            parse_rate("5 furlongs")
+
+
+class TestFormatting:
+    def test_format_bytes_picks_unit(self):
+        assert format_bytes(3 * GB) == "3.00GB"
+        assert format_bytes(1536) == "1.50KB"
+        assert format_bytes(10) == "10B"
+
+    def test_format_rate(self):
+        assert format_rate(2 * MBps) == "2.00MB/s"
+
+    def test_format_duration_seconds(self):
+        assert format_duration(5.0) == "5.0s"
+
+    def test_format_duration_minutes(self):
+        assert format_duration(90) == "1.5m"
+
+    def test_format_duration_hours(self):
+        assert format_duration(7200) == "2.00h"
+
+    def test_roundtrip_parse_format(self):
+        assert parse_size(format_bytes(7 * GB)) == 7 * GB
