@@ -1,0 +1,141 @@
+"""Hot-path A/B — incremental cycle-state engine vs the legacy scans.
+
+Times the same simulation twice, once with ``SimConfig.incremental_engine``
+off (the original O(total state) per-cycle scans, kept in-tree as the
+baseline) and once with it on, at the largest Fig. 11a scale (~10^5
+(block, destination) pairs of controller state). The multi-cycle run uses
+the steady-state regime the engine targets: the controller ticks every
+ΔT over a mostly-replicated state, so per-cycle cost should track the
+remaining work, not the state size. Both modes must produce bit-identical
+completion metrics and per-cycle delivery counts.
+
+Run as a script to emit ``BENCH_hotpaths.json``::
+
+    PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py [--quick]
+
+or through pytest like the other benchmarks (quick scale).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import PerfHotpathsResult, exp_perf_hotpaths
+from repro.analysis.reporting import format_table
+
+FULL_BLOCKS = 33_334  # x3 destination DCs ~= the 10^5 Fig. 11a point
+QUICK_BLOCKS = 3_334
+
+RESULT_FORMAT_VERSION = 1
+
+
+def result_payload(result: PerfHotpathsResult, quick: bool) -> dict:
+    """Flatten a :class:`PerfHotpathsResult` for ``BENCH_hotpaths.json``."""
+    return {
+        "format_version": RESULT_FORMAT_VERSION,
+        "quick": quick,
+        "state_pairs": result.state_pairs,
+        "cycles": result.cycles,
+        "steady_state_run": {
+            "legacy_wall_s": result.run_legacy_s,
+            "incremental_wall_s": result.run_incremental_s,
+            "speedup": result.run_speedup,
+            "legacy_stage_totals_s": result.legacy_stage_totals,
+            "incremental_stage_totals_s": result.incremental_stage_totals,
+        },
+        "cold_decide": {
+            "legacy_s": result.decide_legacy_s,
+            "incremental_s": result.decide_incremental_s,
+            "speedup": result.decide_speedup,
+        },
+        "cycle_cache": result.cache_stats,
+        "identical_results": result.identical_results,
+    }
+
+
+def format_report(result: PerfHotpathsResult) -> str:
+    stages = sorted(result.legacy_stage_totals)
+    rows = [
+        [
+            stage,
+            f"{result.legacy_stage_totals[stage]:.3f}",
+            f"{result.incremental_stage_totals[stage]:.3f}",
+        ]
+        for stage in stages
+    ]
+    return (
+        f"[hot paths] state={result.state_pairs} (block, destination) "
+        f"pairs, {result.cycles} cycles\n"
+        f"steady-state run: legacy {result.run_legacy_s:.2f}s vs "
+        f"incremental {result.run_incremental_s:.2f}s "
+        f"-> {result.run_speedup:.2f}x\n"
+        f"cold decide:      legacy {result.decide_legacy_s:.2f}s vs "
+        f"incremental {result.decide_incremental_s:.2f}s "
+        f"-> {result.decide_speedup:.2f}x\n"
+        f"identical results: {result.identical_results}   "
+        f"cycle cache: {result.cache_stats}\n"
+        + format_table(
+            ["stage", "legacy (s)", "incremental (s)"], rows
+        )
+    )
+
+
+def test_perf_hotpaths(benchmark, report):
+    """Pytest entry: quick-scale A/B; results must be identical."""
+    result = benchmark.pedantic(
+        lambda: exp_perf_hotpaths(num_blocks=QUICK_BLOCKS, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    report("\n" + format_report(result))
+    assert result.identical_results
+    # The incremental engine must never lose to the legacy scans on its
+    # target regime (the headline >=3x is asserted at full scale by the
+    # script / recorded in BENCH_hotpaths.json; quick scale leaves noise
+    # margin).
+    assert result.run_speedup > 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small state for CI smoke runs (no speedup floor asserted)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_hotpaths.json",
+        help="where to write the JSON result (default: ./BENCH_hotpaths.json)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    num_blocks = QUICK_BLOCKS if args.quick else FULL_BLOCKS
+    result = exp_perf_hotpaths(num_blocks=num_blocks, seed=args.seed)
+    print(format_report(result))
+
+    payload = result_payload(result, quick=args.quick)
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+
+    if not result.identical_results:
+        print("FAIL: legacy and incremental runs diverged", file=sys.stderr)
+        return 1
+    if not args.quick and result.run_speedup < 3.0:
+        print(
+            f"FAIL: steady-state speedup {result.run_speedup:.2f}x "
+            "below the 3x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

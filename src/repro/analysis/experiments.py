@@ -841,3 +841,139 @@ def exp_fig13c_origin_fraction(
     return Fig13cResult(
         origin_fractions=fractions, fraction_servers_below_20pct=below
     )
+
+
+# ---------------------------------------------------------------------------
+# Hot-path benchmark — incremental cycle-state engine vs the legacy scans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PerfHotpathsResult:
+    """A/B measurement of the incremental cycle-state engine.
+
+    ``run_*`` fields time a multi-cycle steady-state simulation at the
+    largest Fig. 11a scale (≈``state_pairs`` (block, destination) pairs of
+    controller state, most already replicated — the regime where the
+    controller ticks every ΔT over a largely-complete state).
+    ``decide_*`` fields time one cold controller decision over a fully
+    pending state of the same size (the classic Fig. 11a point).
+    """
+
+    state_pairs: int
+    cycles: int
+    run_legacy_s: float
+    run_incremental_s: float
+    run_speedup: float
+    decide_legacy_s: float
+    decide_incremental_s: float
+    decide_speedup: float
+    legacy_stage_totals: Dict[str, float]
+    incremental_stage_totals: Dict[str, float]
+    cache_stats: Dict[str, int]
+    identical_results: bool
+
+
+def _hotpath_sim(
+    num_blocks: int, incremental: bool, seed: SeedLike, steady_state: bool
+) -> Simulation:
+    """The A/B scenario: 4-DC mesh, one destination DC on a thin link.
+
+    With ``steady_state`` two destination DCs are pre-seeded complete and
+    the thin one is 95 % complete, so the run spends its cycles on a
+    small trickle of remaining work while the controller's total state
+    keeps its full size — the case the incremental engine targets.
+    """
+    dcs = [f"dc{i}" for i in range(4)]
+    topo = Topology()
+    for dc in dcs:
+        topo.add_dc(dc)
+        for s in range(8):
+            topo.add_server(
+                f"{dc}-s{s}", dc, uplink=50 * MBps, downlink=50 * MBps
+            )
+    for a in dcs:
+        for b in dcs:
+            if a == b:
+                continue
+            topo.add_link(a, b, 5 * MBps if b == "dc3" else 1 * GB)
+    job = MulticastJob(
+        job_id="scale",
+        src_dc="dc0",
+        dst_dcs=("dc1", "dc2", "dc3"),
+        total_bytes=num_blocks * MB,
+        block_size=1 * MB,
+    )
+    job.bind(topo)
+    pre_seeded: Dict[str, List] = {}
+    if steady_state:
+        for dc in ("dc1", "dc2", "dc3"):
+            for block in job.blocks:
+                if dc == "dc3" and block.index % 20 == 0:
+                    continue  # the 5 % tail dc3 is still missing
+                server = job.assigned_server(dc, block.block_id)
+                pre_seeded.setdefault(server, []).append(block)
+    return Simulation(
+        topology=topo,
+        jobs=[job],
+        strategy=BDSController(seed=seed),
+        seed=seed,
+        config=SimConfig(incremental_engine=incremental),
+        pre_seeded=pre_seeded or None,
+    )
+
+
+def exp_perf_hotpaths(
+    num_blocks: int = 33_334, seed: SeedLike = 0
+) -> PerfHotpathsResult:
+    """Time the legacy engine against the incremental one (both ways).
+
+    The default ``num_blocks`` puts ≈10^5 (block, destination) pairs in
+    the controller state — the largest Fig. 11a scalability point. The
+    multi-cycle run must produce bit-identical completion metrics and
+    per-cycle delivery counts in both modes; ``identical_results``
+    records the comparison.
+    """
+    walls: Dict[bool, float] = {}
+    results: Dict[bool, SimResult] = {}
+    for incremental in (False, True):
+        sim = _hotpath_sim(
+            num_blocks, incremental, seed=seed, steady_state=True
+        )
+        started = _time.perf_counter()
+        results[incremental] = sim.run()
+        walls[incremental] = _time.perf_counter() - started
+        if incremental:
+            cache_stats = sim._cycle_cache.stats()
+    legacy, incr = results[False], results[True]
+    identical = (
+        legacy.job_completion == incr.job_completion
+        and legacy.server_completion == incr.server_completion
+        and legacy.dc_completion == incr.dc_completion
+        and legacy.blocks_per_cycle() == incr.blocks_per_cycle()
+    )
+
+    decide: Dict[bool, float] = {}
+    for incremental in (False, True):
+        sim = _hotpath_sim(
+            num_blocks, incremental, seed=seed, steady_state=False
+        )
+        view = sim.snapshot_view()
+        started = _time.perf_counter()
+        sim.strategy.decide(view)
+        decide[incremental] = _time.perf_counter() - started
+
+    return PerfHotpathsResult(
+        state_pairs=3 * num_blocks,
+        cycles=incr.cycles_run,
+        run_legacy_s=walls[False],
+        run_incremental_s=walls[True],
+        run_speedup=walls[False] / max(walls[True], 1e-9),
+        decide_legacy_s=decide[False],
+        decide_incremental_s=decide[True],
+        decide_speedup=decide[False] / max(decide[True], 1e-9),
+        legacy_stage_totals=legacy.stage_time_totals(),
+        incremental_stage_totals=incr.stage_time_totals(),
+        cache_stats=cache_stats,
+        identical_results=identical,
+    )

@@ -16,7 +16,7 @@ from repro.net.simulator import SimResult
 
 PathLike = Union[str, Path]
 
-EXPORT_FORMAT_VERSION = 1
+EXPORT_FORMAT_VERSION = 2
 
 
 def _resource_to_str(key) -> str:
@@ -59,6 +59,14 @@ def result_to_dict(result: SimResult, include_cycles: bool = True) -> Dict[str, 
                     for k, v in s.link_online_usage.items()
                 },
                 "max_delay_inflation": s.max_delay_inflation,
+                "stage_times": {
+                    "view_build": s.time_view_build,
+                    "decide": s.time_decide,
+                    "schedule": s.time_schedule,
+                    "route": s.time_route,
+                    "rate_resolve": s.time_rate_resolve,
+                    "deliver": s.time_deliver,
+                },
             }
             for s in result.cycle_stats
         ]

@@ -315,14 +315,20 @@ class BDSRouter:
             offset = zlib.crc32(dst_for_offset.encode()) % len(blocks)
             rotated = blocks[offset:] + blocks[:offset]
             # Half-received blocks go first so their buffered bytes are not
-            # stranded by the rotation.
+            # stranded by the rotation. Membership is tested on block ids
+            # (a set), not Block equality over a list — the latter made
+            # this loop quadratic in group size.
             partial = [
                 b
                 for b in rotated
                 if view.received_bytes(b.block_id, dst_for_offset) > 0
             ]
-            rest = [b for b in rotated if b not in partial]
-            blocks = partial + rest
+            if partial:
+                partial_ids = {b.block_id for b in partial}
+                rest = [b for b in rotated if b.block_id not in partial_ids]
+                blocks = partial + rest
+            else:
+                blocks = rotated
             dst_server = None
             per_source: List[Tuple[str, float]] = []
             for pi, src in enumerate(sources):

@@ -135,12 +135,22 @@ class SpeculatedView(ClusterView):
     """A :class:`ClusterView` whose store reflects speculated deliveries.
 
     Construction is cheap: the underlying view's fields are shared; only
-    the store is wrapped.
+    the store is wrapped. The base view's :class:`CycleCache` is *not*
+    shared — its source/rarity memos answer for the real store, and the
+    wrapped store sees extra speculated holders — so this view gets a
+    fresh cache of its own (path memos are rebuilt; source memos key on
+    the wrapped store's epoch). The simulator's pending maps are shared:
+    they track the real store only, and the inherited pending accessors
+    re-check every map entry against ``self.store`` — here the wrapped
+    store — so speculated deliveries drop out exactly as a full scan
+    over the wrapped store would.
     """
 
     def __init__(
         self, base: ClusterView, deliveries: Iterable[SpeculatedDelivery]
     ) -> None:
+        from repro.net.cycle_cache import CycleCache
+
         self.topology = base.topology
         self.store = _SpeculatedStore(base.store, deliveries)
         self.jobs = base.jobs
@@ -152,3 +162,16 @@ class SpeculatedView(ClusterView):
         self.controller_available = base.controller_available
         self.failed_links = base.failed_links
         self._partial = base._partial
+        self._pending_map = base._pending_map
+        self._relay_pending_map = base._relay_pending_map
+        self._blocks_by_id = base._blocks_by_id
+        self._cache = CycleCache() if base._cache is not None else None
+        self._failed_frozen = base._failed_frozen
+        self._pending_order = base._pending_order
+        self._relay_order = base._relay_order
+        # The wrapped store shadows the real one with speculated extra
+        # copies, so the exactness witness must not hold: keep the *base*
+        # store as the witness object — ``self.store`` (the wrapper) is a
+        # different object, forcing the per-entry possession re-check.
+        self._map_store = base._map_store
+        self._map_epoch = base._map_epoch

@@ -1,0 +1,100 @@
+"""Per-cycle memoization for the controller/simulator hot path.
+
+The centralized control loop issues the same read-only queries many times
+per cycle: the scheduler asks for rarity and eligible sources once per
+pending *(block, destination)* pair, and the router re-derives the WAN
+path once per *(holder, destination)* candidate. At 10^5 outstanding
+blocks those duplicates dominate the cycle (§5.1's scalability argument
+only holds if per-tick cost tracks the delta in state, not its size).
+
+:class:`CycleCache` memoizes three query families, each guarded by an
+explicit validity key so stale answers are structurally impossible:
+
+* **paths** — ``flow_resources(src, dst)`` results, valid while
+  ``(topology.epoch, failed_links)`` is unchanged. In a failure-free run
+  this cache survives across *all* cycles.
+* **sources** — eligible-source lists per block, valid while
+  ``(store.epoch, failed_agents)`` is unchanged. Any possession mutation
+  (delivery, seed, drop) bumps the store epoch and flushes it.
+* **rarity** — cluster-wide duplicate counts per block, same validity
+  as sources.
+
+The cache is owned by the :class:`~repro.net.simulator.Simulation` and
+threaded into each cycle's :class:`~repro.net.simulator.ClusterView`;
+derived views (speculation overlays, partition clones) must *not* share
+it because their store/failure state differs — they get a fresh instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.net.topology import ResourceKey
+
+BlockId = Tuple[str, int]
+PathKey = Tuple[int, FrozenSet]
+SourceKey = Tuple[int, FrozenSet]
+
+
+class CycleCache:
+    """Epoch-guarded memo tables for the per-cycle read queries."""
+
+    __slots__ = (
+        "_path_key",
+        "paths",
+        "_source_key",
+        "sources",
+        "rarity",
+        "hits",
+        "misses",
+        "flushes",
+    )
+
+    def __init__(self) -> None:
+        self._path_key: Optional[PathKey] = None
+        # (src_server, dst_server) -> resource tuple, or None when the
+        # destination is unreachable (partitioned off).
+        self.paths: Dict[
+            Tuple[str, str], Optional[Tuple[ResourceKey, ...]]
+        ] = {}
+        self._source_key: Optional[SourceKey] = None
+        self.sources: Dict[BlockId, List[str]] = {}
+        self.rarity: Dict[BlockId, int] = {}
+        # Telemetry (coarse; bumped by ClusterView's cached accessors).
+        self.hits: int = 0
+        self.misses: int = 0
+        self.flushes: int = 0
+
+    # -- validity gates ----------------------------------------------------
+
+    def validate_paths(
+        self, topology_epoch: int, failed_links: FrozenSet
+    ) -> Dict[Tuple[str, str], Optional[Tuple[ResourceKey, ...]]]:
+        """The path memo table, flushed if topology/failures changed."""
+        key = (topology_epoch, failed_links)
+        if key != self._path_key:
+            self._path_key = key
+            if self.paths:
+                self.paths = {}
+                self.flushes += 1
+        return self.paths
+
+    def validate_sources(
+        self, store_epoch: int, failed_agents: FrozenSet
+    ) -> None:
+        """Flush source/rarity memos if possession or failures changed."""
+        key = (store_epoch, failed_agents)
+        if key != self._source_key:
+            self._source_key = key
+            if self.sources or self.rarity:
+                self.sources = {}
+                self.rarity = {}
+                self.flushes += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/flush counters (consumed by the hot-path benchmark)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "flushes": self.flushes,
+        }

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.net.background import BackgroundTraffic, delay_inflation
+from repro.net.cycle_cache import CycleCache
 from repro.net.failures import FailureSchedule
 from repro.net.flow import Flow, clip_rates_to_capacity, max_min_fair_rates
 from repro.net.topology import ResourceKey, Topology
@@ -86,6 +87,13 @@ class SimConfig:
     # active in the previous cycle loses this much of the cycle before
     # transferring (Fig. 12c's third overhead source).
     flow_setup_seconds: float = 0.0
+    # Incremental cycle-state engine: thread the simulator's pending-
+    # delivery bookkeeping and a CycleCache into each ClusterView so the
+    # per-cycle cost tracks remaining work, not total state size. False
+    # reverts to the original O(total work) scan paths — kept as the
+    # in-tree baseline for the hot-path benchmark and the determinism
+    # A/B regression test; results are identical either way.
+    incremental_engine: bool = True
 
     def __post_init__(self) -> None:
         check_positive("cycle_seconds", self.cycle_seconds)
@@ -104,7 +112,16 @@ class SimConfig:
 
 @dataclass
 class CycleStats:
-    """Aggregates recorded at the end of each simulated cycle."""
+    """Aggregates recorded at the end of each simulated cycle.
+
+    The ``time_*`` fields are the per-stage wall-clock breakdown of the
+    cycle's control loop (seconds): building the cluster view, the
+    strategy's scheduling and routing steps (when the strategy reports
+    them — BDS does; decentralized baselines land entirely in
+    ``time_schedule``), resolving flow rates against capacities, and
+    progressing/delivering flows. ``time_decide`` is the whole strategy
+    call and contains schedule + route plus any strategy-private work.
+    """
 
     cycle: int
     time: float
@@ -115,6 +132,13 @@ class CycleStats:
     link_bulk_usage: Dict[ResourceKey, float] = field(default_factory=dict)
     link_online_usage: Dict[ResourceKey, float] = field(default_factory=dict)
     max_delay_inflation: float = 1.0
+    # Per-stage wall-clock timing breakdown (seconds).
+    time_view_build: float = 0.0
+    time_decide: float = 0.0
+    time_schedule: float = 0.0
+    time_route: float = 0.0
+    time_rate_resolve: float = 0.0
+    time_deliver: float = 0.0
 
 
 @dataclass
@@ -151,6 +175,30 @@ class SimResult:
         """Delivered-block counts per cycle (the Fig. 12a series)."""
         return [s.blocks_delivered for s in self.cycle_stats]
 
+    def stage_time_totals(self) -> Dict[str, float]:
+        """Summed per-stage wall-clock seconds across all cycles.
+
+        The hot-path benchmark consumes this to show where the control
+        loop spends its time (view-build / schedule / route /
+        rate-resolve / deliver).
+        """
+        totals = {
+            "view_build": 0.0,
+            "decide": 0.0,
+            "schedule": 0.0,
+            "route": 0.0,
+            "rate_resolve": 0.0,
+            "deliver": 0.0,
+        }
+        for s in self.cycle_stats:
+            totals["view_build"] += s.time_view_build
+            totals["decide"] += s.time_decide
+            totals["schedule"] += s.time_schedule
+            totals["route"] += s.time_route
+            totals["rate_resolve"] += s.time_rate_resolve
+            totals["deliver"] += s.time_deliver
+        return totals
+
     def total_bytes_transferred(self) -> float:
         """Bytes moved across all flows over the whole run."""
         return sum(s.bytes_transferred for s in self.cycle_stats)
@@ -177,6 +225,19 @@ class ClusterView:
 
     This is the "global view" a centralized controller enjoys; decentralized
     baselines deliberately use only slices of it (their local views).
+
+    **Ownership**: the view borrows the simulator's live structures —
+    ``bulk_capacities``, the pending-delivery maps, and the partial-bytes
+    map are *not* copied. A view is valid for the cycle it was built for;
+    strategies must not mutate these mappings or hold a view across
+    cycles (the next cycle reuses and mutates them in place).
+
+    When the simulator runs with the incremental engine (the default) it
+    also threads in its pending bookkeeping (``pending`` /
+    ``relay_pending`` / ``blocks_by_id``) and a :class:`CycleCache`, so
+    ``pending_deliveries`` iterates only still-missing entries and the
+    rarity/source/path queries are memoized. All fall back to the
+    original full scans when absent, with identical results.
     """
 
     def __init__(
@@ -192,6 +253,12 @@ class ClusterView:
         controller_available: bool,
         partial_bytes: Mapping[Tuple[BlockId, str], float],
         failed_links: frozenset = frozenset(),
+        pending: Optional[Mapping[Tuple[str, str], Set[Tuple[BlockId, str]]]] = None,
+        relay_pending: Optional[Mapping[Tuple[str, str], Set[BlockId]]] = None,
+        blocks_by_id: Optional[Mapping[BlockId, Block]] = None,
+        cache: Optional[CycleCache] = None,
+        pending_order: Optional[Dict[Tuple[str, str], List[Tuple[BlockId, str]]]] = None,
+        relay_order: Optional[Dict[Tuple[str, str], List[BlockId]]] = None,
     ) -> None:
         self.topology = topology
         self.store = store
@@ -199,11 +266,26 @@ class ClusterView:
         self.cycle = cycle
         self.time = time
         self.cycle_seconds = cycle_seconds
-        self.bulk_capacities = dict(bulk_capacities)
+        self.bulk_capacities = bulk_capacities
         self.failed_agents = set(failed_agents)
         self.controller_available = controller_available
         self.failed_links = frozenset(failed_links)
         self._partial = partial_bytes
+        self._pending_map = pending
+        self._relay_pending_map = relay_pending
+        self._blocks_by_id = blocks_by_id
+        self._cache = cache
+        self._failed_frozen = frozenset(self.failed_agents)
+        # Ordered iteration hints for the pending maps (see the accessors)
+        # plus the exactness witness: while the store object is this very
+        # one and its epoch is unchanged since view construction, the
+        # pending maps are exact and the per-entry possession re-check is
+        # skipped. Any out-of-band store mutation bumps the epoch and
+        # drops the view back to the re-checking path.
+        self._pending_order = pending_order
+        self._relay_order = relay_order
+        self._map_store = store
+        self._map_epoch = getattr(store, "epoch", -1)
 
     def agent_is_up(self, server_id: str) -> bool:
         return server_id not in self.failed_agents
@@ -214,6 +296,10 @@ class ClusterView:
         Used by the controller's partition handling (§5.3): servers in DCs
         cut off from the controller cannot receive commands, so the
         centralized logic must not schedule them as sources or sinks.
+
+        The clone shares this view's :class:`CycleCache`; its different
+        failed-agent set flushes the source/rarity memos via the cache's
+        validity key while the path memos stay warm.
         """
         clone = ClusterView(
             topology=self.topology,
@@ -227,6 +313,12 @@ class ClusterView:
             controller_available=self.controller_available,
             partial_bytes=self._partial,
             failed_links=self.failed_links,
+            pending=self._pending_map,
+            relay_pending=self._relay_pending_map,
+            blocks_by_id=self._blocks_by_id,
+            cache=self._cache,
+            pending_order=self._pending_order,
+            relay_order=self._relay_order,
         )
         return clone
 
@@ -236,14 +328,33 @@ class ClusterView:
         """Failure-aware flow resources, or ``None`` when partitioned off.
 
         Strategies should use this instead of ``topology.flow_resources``
-        so their paths detour around failed WAN links (§5.3).
+        so their paths detour around failed WAN links (§5.3). Memoized
+        per (src, dst) pair while topology and failed links are unchanged.
         """
+        cache = self._cache
+        if cache is None:
+            try:
+                return self.topology.flow_resources(
+                    src_server, dst_server, self.failed_links
+                )
+            except ValueError:
+                return None
+        table = cache.validate_paths(self.topology.epoch, self.failed_links)
+        key = (src_server, dst_server)
         try:
-            return self.topology.flow_resources(
+            result = table[key]
+            cache.hits += 1
+            return result
+        except KeyError:
+            cache.misses += 1
+        try:
+            result = self.topology.flow_resources(
                 src_server, dst_server, self.failed_links
             )
         except ValueError:
-            return None
+            result = None
+        table[key] = result
+        return result
 
     def received_bytes(self, block_id: BlockId, dst_server: str) -> float:
         """Bytes of ``block_id`` already buffered at ``dst_server``."""
@@ -252,20 +363,95 @@ class ClusterView:
     def pending_deliveries(
         self, job: MulticastJob
     ) -> List[Tuple[Block, str, str]]:
-        """Undelivered (block, dst_dc, assigned dst server) triples."""
+        """Undelivered (block, dst_dc, assigned dst server) triples.
+
+        With the simulator's pending map attached this iterates only the
+        still-missing entries, in ascending block-index order (the scan
+        order of the fallback); otherwise it scans every (destination DC,
+        block) pair against the store. The order list is a shared
+        iteration hint compacted lazily against the live set, so no
+        per-cycle sort is needed.
+        """
         pending: List[Tuple[Block, str, str]] = []
+        pending_map = self._pending_map
+        order_map = self._pending_order
+        blocks_by_id = self._blocks_by_id
+        store = self.store
+        # Exactness: the simulator discards entries on every delivery, so
+        # while the store is untouched otherwise (same object, same
+        # epoch) set membership alone decides pending-ness. A store that
+        # shadows the real one (speculation overlay) or an out-of-band
+        # mutation (epoch bump) drops us to the re-checking path.
+        exact = store is self._map_store and (
+            getattr(store, "epoch", -2) == self._map_epoch
+        )
         for dc in job.dst_dcs:
-            for block in job.blocks:
-                server = job.assigned_server(dc, block.block_id)
-                if not self.store.has(server, block.block_id):
-                    pending.append((block, dc, server))
+            key = (job.job_id, dc)
+            entries = pending_map.get(key) if pending_map is not None else None
+            if entries is None or blocks_by_id is None or order_map is None:
+                for block in job.blocks:
+                    server = job.assigned_server(dc, block.block_id)
+                    if not self.store.has(server, block.block_id):
+                        pending.append((block, dc, server))
+                continue
+            order = order_map[key]
+            if len(order) > 2 * len(entries):
+                order = [entry for entry in order if entry in entries]
+                order_map[key] = order
+            if exact:
+                for entry in order:
+                    if entry in entries:
+                        pending.append(
+                            (blocks_by_id[entry[0]], dc, entry[1])
+                        )
+            else:
+                for entry in order:
+                    if entry in entries:
+                        bid, server = entry
+                        if not store.has(server, bid):
+                            pending.append((blocks_by_id[bid], dc, server))
         return pending
 
     def eligible_sources(self, block_id: BlockId) -> List[str]:
-        """Healthy servers currently holding the block."""
-        return [
-            s for s in self.store.holders(block_id) if self.agent_is_up(s)
-        ]
+        """Healthy servers currently holding the block.
+
+        Memoized per block id while the store and failed-agent set are
+        unchanged — the scheduler and router both ask for every pending
+        block, so the second and later queries are dict hits.
+        """
+        cache = self._cache
+        if cache is None:
+            failed = self.failed_agents
+            return [
+                s for s in self.store.holders(block_id) if s not in failed
+            ]
+        cache.validate_sources(self.store.epoch, self._failed_frozen)
+        try:
+            result = cache.sources[block_id]
+            cache.hits += 1
+            return result
+        except KeyError:
+            cache.misses += 1
+        failed = self.failed_agents
+        holders = self.store.holders(block_id)
+        if failed:
+            result = [s for s in holders if s not in failed]
+        else:
+            result = list(holders)
+        cache.sources[block_id] = result
+        return result
+
+    def duplicate_count(self, block_id: BlockId) -> int:
+        """Cluster-wide copy count (§4.3 rarity), memoized per block id."""
+        cache = self._cache
+        if cache is None:
+            return self.store.duplicate_count(block_id)
+        cache.validate_sources(self.store.epoch, self._failed_frozen)
+        count = cache.rarity.get(block_id)
+        if count is None:
+            count = self.store.duplicate_count(block_id)
+            cache.rarity[block_id] = count
+        return count
 
     def pending_relay_placements(
         self, job: MulticastJob
@@ -278,12 +464,35 @@ class ClusterView:
         through non-destination DCs (Fig. 1).
         """
         placements: List[Tuple[Block, str, str]] = []
+        relay_map = self._relay_pending_map
+        order_map = self._relay_order
+        blocks_by_id = self._blocks_by_id
+        store = self.store
+        exact = store is self._map_store and (
+            getattr(store, "epoch", -2) == self._map_epoch
+        )
         for dc in job.relay_dcs:
-            for block in job.blocks:
-                if self.store.dc_has_block(dc, block.block_id):
+            key = (job.job_id, dc)
+            entries = relay_map.get(key) if relay_map is not None else None
+            if entries is None or blocks_by_id is None or order_map is None:
+                for block in job.blocks:
+                    if self.store.dc_has_block(dc, block.block_id):
+                        continue
+                    server = job.assigned_server(dc, block.block_id)
+                    placements.append((block, dc, server))
+                continue
+            order = order_map[key]
+            if len(order) > 2 * len(entries):
+                order = [bid for bid in order if bid in entries]
+                order_map[key] = order
+            for bid in order:
+                if bid not in entries:
                     continue
-                server = job.assigned_server(dc, block.block_id)
-                placements.append((block, dc, server))
+                if not exact and store.dc_has_block(dc, bid):
+                    continue
+                placements.append(
+                    (blocks_by_id[bid], dc, job.assigned_server(dc, bid))
+                )
         return placements
 
 
@@ -350,21 +559,46 @@ class Simulation:
 
         # (block_id, dst_server) -> bytes buffered so far.
         self._partial: Dict[Tuple[BlockId, str], float] = {}
-        # Pending (job, dc) -> set of (block_id, server) still missing.
+        # Pending (job, dc) -> set of (block_id, server) still missing,
+        # plus an ordered list of the same entries (ascending block index,
+        # the legacy scan order). The set is the source of truth (_deliver
+        # discards from it); the list is an iteration hint the view
+        # compacts lazily, so pending iteration needs no per-cycle sort.
         self._pending: Dict[Tuple[str, str], Set[Tuple[BlockId, str]]] = {}
+        self._pending_order: Dict[
+            Tuple[str, str], List[Tuple[BlockId, str]]
+        ] = {}
         # (job, server) -> number of shard blocks still missing.
         self._server_missing: Dict[Tuple[str, str], int] = {}
         for job in self.jobs:
             for dc in job.dst_dcs:
-                missing = set()
+                ordered: List[Tuple[BlockId, str]] = []
                 for block in job.blocks:
                     server = job.assigned_server(dc, block.block_id)
                     if self.store.has(server, block.block_id):
                         continue  # pre-seeded copies count as delivered
-                    missing.add((block.block_id, server))
+                    ordered.append((block.block_id, server))
                     key = (job.job_id, server)
                     self._server_missing[key] = self._server_missing.get(key, 0) + 1
-                self._pending[(job.job_id, dc)] = missing
+                self._pending[(job.job_id, dc)] = set(ordered)
+                self._pending_order[(job.job_id, dc)] = ordered
+
+        # (job, relay dc) -> block ids the relay DC holds no copy of yet.
+        # Mirrors what pending_relay_placements would compute by scanning;
+        # maintained incrementally by _deliver.
+        self._relay_pending: Dict[Tuple[str, str], Set[BlockId]] = {}
+        self._relay_order: Dict[Tuple[str, str], List[BlockId]] = {}
+        self._relay_dcs_by_job: Dict[str, Tuple[str, ...]] = {}
+        for job in self.jobs:
+            self._relay_dcs_by_job[job.job_id] = job.relay_dcs
+            for dc in job.relay_dcs:
+                ordered_ids = [
+                    block.block_id
+                    for block in job.blocks
+                    if not self.store.dc_has_block(dc, block.block_id)
+                ]
+                self._relay_pending[(job.job_id, dc)] = set(ordered_ids)
+                self._relay_order[(job.job_id, dc)] = ordered_ids
 
         self._blocks_by_id: Dict[BlockId, Block] = {}
         self._origin_dc: Dict[str, str] = {}
@@ -373,12 +607,62 @@ class Simulation:
             for block in job.blocks:
                 self._blocks_by_id[block.block_id] = block
 
+        # Incremental-engine state: the persistent per-cycle query cache
+        # and the memoized capacity maps (see _bulk_capacities).
+        self._cycle_cache = CycleCache()
+        self._wan_keys: Tuple[ResourceKey, ...] = tuple(topology.links)
+        self._bulk_cache: Dict[float, Dict[ResourceKey, float]] = {}
+        self._caps_ref: Optional[Dict[ResourceKey, float]] = None
+
     # -- per-cycle resource budgets ------------------------------------------
 
     def _bulk_capacities(self, now: float, respect_threshold: bool) -> Tuple[
         Dict[ResourceKey, float], Dict[ResourceKey, float]
     ]:
-        """(bulk capacity, online usage) per resource for this cycle."""
+        """(bulk capacity, online usage) per resource for this cycle.
+
+        The static part (server NICs, WAN capacity × threshold) is built
+        once per threshold and reused; only WAN entries are rewritten per
+        cycle, and only when background traffic or failures can change
+        them. The returned dicts are owned by the simulator and reused
+        across cycles — consumers must not mutate or retain them.
+        """
+        if not self.config.incremental_engine:
+            return self._bulk_capacities_legacy(now, respect_threshold)
+        caps = self.topology.resource_capacities()
+        if caps is not self._caps_ref:
+            self._bulk_cache.clear()
+            self._caps_ref = caps
+            self._wan_keys = tuple(self.topology.links)
+        threshold = self.config.safety_threshold if respect_threshold else 1.0
+        bulk = self._bulk_cache.get(threshold)
+        if bulk is None:
+            bulk = {
+                key: threshold * cap if key[0] == "wan" else cap
+                for key, cap in caps.items()
+            }
+            self._bulk_cache[threshold] = bulk
+        if self.background is None and self.failures is None:
+            # Steady state: WAN entries are exactly threshold × capacity
+            # every cycle; nothing to recompute.
+            return bulk, {}
+        online: Dict[ResourceKey, float] = {}
+        for key in self._wan_keys:
+            cap = caps[key]
+            used = (
+                self.background.usage(key, now, cap) if self.background else 0.0
+            )
+            online[key] = used
+            usable = max(0.0, threshold * cap - used)
+            if self.failures and not self.failures.link_is_up(key[1], key[2]):
+                usable = 0.0
+            bulk[key] = usable
+        return bulk, online
+
+    def _bulk_capacities_legacy(
+        self, now: float, respect_threshold: bool
+    ) -> Tuple[Dict[ResourceKey, float], Dict[ResourceKey, float]]:
+        """The original full per-cycle rebuild (baseline reference)."""
         caps = self.topology.resource_capacities()
         online: Dict[ResourceKey, float] = {}
         threshold = self.config.safety_threshold if respect_threshold else 1.0
@@ -437,6 +721,7 @@ class Simulation:
         """
         respects = getattr(self.strategy, "respects_safety_threshold", False)
         bulk_caps, _online = self._bulk_capacities(cycle * self.config.cycle_seconds, respects)
+        incremental = self.config.incremental_engine
         return ClusterView(
             topology=self.topology,
             store=self.store,
@@ -451,6 +736,12 @@ class Simulation:
             failed_links=frozenset(self.failures.failed_links)
             if self.failures
             else frozenset(),
+            pending=self._pending if incremental else None,
+            relay_pending=self._relay_pending if incremental else None,
+            blocks_by_id=self._blocks_by_id if incremental else None,
+            cache=self._cycle_cache if incremental else None,
+            pending_order=self._pending_order if incremental else None,
+            relay_order=self._relay_order if incremental else None,
         )
 
     # -- main loop -------------------------------------------------------------
@@ -483,9 +774,11 @@ class Simulation:
         # (src, dst) pairs with an active flow last cycle: reused pairs skip
         # the TCP re-establishment cost.
         prev_pairs: Set[Tuple[str, str]] = set()
+        incremental = cfg.incremental_engine
         cycle = 0
         for cycle in range(cfg.max_cycles):
             now = cycle * dt
+            stage_started = _time.perf_counter()
             if self.failures:
                 applied = self.failures.advance_to(cycle)
                 failed = set(self.failures.failed_agents)
@@ -523,8 +816,15 @@ class Simulation:
                 controller_available=controller_ok,
                 partial_bytes=self._partial,
                 failed_links=failed_links,
+                pending=self._pending if incremental else None,
+                relay_pending=self._relay_pending if incremental else None,
+                blocks_by_id=self._blocks_by_id if incremental else None,
+                cache=self._cycle_cache if incremental else None,
+                pending_order=self._pending_order if incremental else None,
+                relay_order=self._relay_order if incremental else None,
             )
             decide_started = _time.perf_counter()
+            time_view_build = decide_started - stage_started
             raw_directives = self.strategy.decide(view)
             decide_runtime = _time.perf_counter() - decide_started
             directives = self._valid_directives(raw_directives, failed)
@@ -537,16 +837,22 @@ class Simulation:
                 )
                 feedback_samples.append(sample)
 
+            rate_started = _time.perf_counter()
             flows: List[Flow] = []
             routed: List[TransferDirective] = []
             flow_resources: List[Tuple[ResourceKey, ...]] = []
             for d in directives:
-                try:
-                    resources = self.topology.flow_resources(
-                        d.src_server, d.dst_server, failed_links
-                    )
-                except ValueError:
-                    continue  # destination partitioned off this cycle
+                if incremental:
+                    resources = view.flow_resources(d.src_server, d.dst_server)
+                    if resources is None:
+                        continue  # destination partitioned off this cycle
+                else:
+                    try:
+                        resources = self.topology.flow_resources(
+                            d.src_server, d.dst_server, failed_links
+                        )
+                    except ValueError:
+                        continue  # destination partitioned off this cycle
                 i = len(routed)
                 remaining = sum(
                     self._blocks_by_id[bid].size
@@ -576,6 +882,8 @@ class Simulation:
                 rates = clip_rates_to_capacity(flows, requested, bulk_caps)
             else:
                 rates = max_min_fair_rates(flows, bulk_caps)
+            deliver_started = _time.perf_counter()
+            time_rate_resolve = deliver_started - rate_started
 
             delivered = 0
             transferred = 0.0
@@ -626,6 +934,14 @@ class Simulation:
                         self._partial[key] = have + take
                 transferred += used
 
+            time_schedule = decide_runtime
+            time_route = 0.0
+            last_decision = getattr(self.strategy, "last_decision", None)
+            if callable(last_decision):
+                decision = last_decision()
+                if decision is not None and decision.cycle == cycle:
+                    time_schedule = decision.schedule_runtime
+                    time_route = decision.routing_runtime
             stats = CycleStats(
                 cycle=cycle,
                 time=now,
@@ -633,6 +949,12 @@ class Simulation:
                 bytes_transferred=transferred,
                 active_flows=len(directives),
                 controller_available=controller_ok,
+                time_view_build=time_view_build,
+                time_decide=decide_runtime,
+                time_schedule=time_schedule,
+                time_route=time_route,
+                time_rate_resolve=time_rate_resolve,
+                time_deliver=_time.perf_counter() - deliver_started,
             )
             if cfg.record_link_stats:
                 usage: Dict[ResourceKey, float] = {}
@@ -698,6 +1020,9 @@ class Simulation:
             block, src_server, dst_server, when, self._origin_dc[job_id]
         )
         dst_dc = self.store.dc_of(dst_server)
+        relay_pending = self._relay_pending.get((job_id, dst_dc))
+        if relay_pending is not None:
+            relay_pending.discard(block.block_id)
         pending = self._pending.get((job_id, dst_dc))
         if pending is None:
             return  # delivery to a relay DC: useful, but not completion-tracked

@@ -106,6 +106,10 @@ class Topology:
         self._avoiding_routes: Dict[
             frozenset, Dict[Tuple[str, str], Tuple[ResourceKey, ...]]
         ] = {}
+        # Structural mutation counter: bumps on every add_dc/add_server/
+        # add_link, invalidating capacity and path caches keyed on it.
+        self.epoch: int = 0
+        self._caps_cache: Optional[Dict[ResourceKey, float]] = None
 
     # -- construction -----------------------------------------------------
 
@@ -116,6 +120,9 @@ class Topology:
         dc = DataCenter(name=name)
         self.dcs[name] = dc
         self._routes = None
+        self._caps_cache = None
+        self._avoiding_routes.clear()
+        self.epoch += 1
         return dc
 
     def add_server(
@@ -129,6 +136,8 @@ class Topology:
         server = Server(server_id=server_id, dc=dc, uplink=uplink, downlink=downlink)
         self.servers[server_id] = server
         self.dcs[dc].servers.append(server)
+        self._caps_cache = None
+        self.epoch += 1
         return server
 
     def add_link(self, src_dc: str, dst_dc: str, capacity: float) -> Link:
@@ -141,6 +150,9 @@ class Topology:
             raise ValueError(f"duplicate link {src_dc}->{dst_dc}")
         self.links[link.key] = link
         self._routes = None
+        self._caps_cache = None
+        self._avoiding_routes.clear()
+        self.epoch += 1
         return link
 
     def add_bidirectional_link(
@@ -169,14 +181,20 @@ class Topology:
         return self.links[wan_key(src_dc, dst_dc)].capacity
 
     def resource_capacities(self) -> Dict[ResourceKey, float]:
-        """Capacity of every resource: WAN links plus all server NICs."""
-        caps: Dict[ResourceKey, float] = {
-            key: link.capacity for key, link in self.links.items()
-        }
-        for server in self.servers.values():
-            caps[uplink_key(server.server_id)] = server.uplink
-            caps[downlink_key(server.server_id)] = server.downlink
-        return caps
+        """Capacity of every resource: WAN links plus all server NICs.
+
+        The result is cached until the topology next mutates; callers must
+        treat it as read-only (the simulator reads it every cycle).
+        """
+        if self._caps_cache is None:
+            caps: Dict[ResourceKey, float] = {
+                key: link.capacity for key, link in self.links.items()
+            }
+            for server in self.servers.values():
+                caps[uplink_key(server.server_id)] = server.uplink
+                caps[downlink_key(server.server_id)] = server.downlink
+            self._caps_cache = caps
+        return self._caps_cache
 
     # -- routing -----------------------------------------------------------
 

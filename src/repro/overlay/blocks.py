@@ -9,7 +9,7 @@ file splitting, and the block-merging helper used by the controller's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.utils.units import MB
@@ -29,16 +29,18 @@ class Block:
     job_id: str
     index: int
     size: float
+    # Globally unique identifier (hashable). Precomputed: the id is read
+    # several times per block per cycle on the controller's hot paths,
+    # where a property allocating a fresh tuple each call shows up.
+    block_id: Tuple[str, int] = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         check_positive("size", self.size)
         if self.index < 0:
             raise ValueError("block index must be >= 0")
-
-    @property
-    def block_id(self) -> Tuple[str, int]:
-        """Globally unique identifier (hashable)."""
-        return (self.job_id, self.index)
+        object.__setattr__(self, "block_id", (self.job_id, self.index))
 
 
 def split_into_blocks(

@@ -31,8 +31,17 @@ class DeliveryRecord:
     from_origin_dc: bool
 
 
+_EMPTY_HOLDERS: Set[str] = set()
+
+
 class PossessionIndex:
-    """Tracks block possession per server with O(1) updates and lookups."""
+    """Tracks block possession per server with O(1) updates and lookups.
+
+    ``epoch`` counts mutations (seeds, deliveries, drops). Read-side caches
+    — most importantly the per-cycle :class:`~repro.net.cycle_cache.
+    CycleCache` — key their validity on it: any possession change bumps the
+    epoch and invalidates every memoized rarity/holder query.
+    """
 
     def __init__(self, server_dc: Mapping[str, str]) -> None:
         # server id -> DC name; fixed for the lifetime of the index.
@@ -43,6 +52,7 @@ class PossessionIndex:
         }
         self._dc_counts: Dict[Tuple[str, BlockId], int] = {}
         self.deliveries: List[DeliveryRecord] = []
+        self.epoch: int = 0
 
     # -- updates --------------------------------------------------------------
 
@@ -88,6 +98,7 @@ class PossessionIndex:
         dc = self._server_dc[server_id]
         key = (dc, block_id)
         self._dc_counts[key] = self._dc_counts.get(key, 0) + 1
+        self.epoch += 1
 
     def drop_server(self, server_id: str) -> None:
         """Remove all copies on a failed server (disk loss)."""
@@ -98,6 +109,7 @@ class PossessionIndex:
             self._dc_counts[key] -= 1
             if self._dc_counts[key] == 0:
                 del self._dc_counts[key]
+            self.epoch += 1
         self._server_blocks[server_id] = set()
 
     # -- queries ---------------------------------------------------------------
@@ -109,8 +121,13 @@ class PossessionIndex:
         return block_id in self._server_blocks.get(server_id, ())
 
     def holders(self, block_id: BlockId) -> Set[str]:
-        """Servers currently holding the block (copy; safe to mutate)."""
-        return set(self._holders.get(block_id, ()))
+        """Servers currently holding the block.
+
+        Returns the *live* internal set — callers must treat it as
+        read-only (the per-cycle hot paths call this for every pending
+        block; copying here dominated steady-state allocation churn).
+        """
+        return self._holders.get(block_id, _EMPTY_HOLDERS)
 
     def duplicate_count(self, block_id: BlockId) -> int:
         """Number of copies cluster-wide (the §4.3 rarity measure)."""

@@ -1,0 +1,97 @@
+"""Golden determinism regression: same seed => bit-identical results.
+
+The incremental cycle-state engine memoizes and mutates per-cycle state;
+any accidental dependence on set-iteration order or cache warm-up would
+show up here as a diff between two runs of the same scenario, or between
+the incremental engine and the legacy full-scan path it replaced.
+
+The scenario is the Fig. 9 BDS-vs-Gingko shape scaled down: one source
+DC multicasting to several destinations over a full mesh, run with both
+strategies, with and without mid-run failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import make_strategy
+from repro.net.failures import FailureEvent, FailureSchedule
+from repro.net.simulator import SimConfig, SimResult, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import MB, MBps
+
+SEED = 90  # the Fig. 9 headline seed
+
+
+def _run(
+    strategy_name: str, incremental: bool, with_failures: bool = False
+) -> SimResult:
+    topo = Topology.full_mesh(
+        num_dcs=5, servers_per_dc=4, wan_capacity=500 * MBps, uplink=25 * MBps
+    )
+    job = MulticastJob(
+        job_id="fig9",
+        src_dc="dc0",
+        dst_dcs=tuple(f"dc{i}" for i in range(1, 5)),
+        total_bytes=64 * MB,
+        block_size=4 * MB,
+    )
+    job.bind(topo)
+    failures = None
+    if with_failures:
+        failures = FailureSchedule(
+            [
+                FailureEvent(cycle=1, kind="agent_fail", target="dc1-s0"),
+                FailureEvent(cycle=2, kind="link_fail", target=("dc0", "dc2")),
+                FailureEvent(cycle=4, kind="agent_recover", target="dc1-s0"),
+                FailureEvent(cycle=5, kind="link_recover", target=("dc0", "dc2")),
+            ]
+        )
+    sim = Simulation(
+        topology=topo,
+        jobs=[job],
+        strategy=make_strategy(strategy_name, seed=SEED),
+        config=SimConfig(incremental_engine=incremental),
+        failures=failures,
+        seed=SEED,
+    )
+    return sim.run()
+
+
+def _fingerprint(result: SimResult):
+    return (
+        result.job_completion,
+        result.dc_completion,
+        result.server_completion,
+        result.blocks_per_cycle(),
+        [s.bytes_transferred for s in result.cycle_stats],
+    )
+
+
+class TestGoldenDeterminism:
+    @pytest.mark.parametrize("strategy", ["bds", "gingko"])
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_same_seed_same_result(self, strategy, incremental):
+        first = _run(strategy, incremental)
+        second = _run(strategy, incremental)
+        assert first.all_complete
+        assert _fingerprint(first) == _fingerprint(second)
+
+    @pytest.mark.parametrize("strategy", ["bds", "gingko"])
+    def test_incremental_matches_legacy(self, strategy):
+        incremental = _run(strategy, incremental=True)
+        legacy = _run(strategy, incremental=False)
+        assert incremental.all_complete
+        assert _fingerprint(incremental) == _fingerprint(legacy)
+
+    @pytest.mark.parametrize("strategy", ["bds", "gingko"])
+    def test_incremental_matches_legacy_under_failures(self, strategy):
+        incremental = _run(strategy, incremental=True, with_failures=True)
+        legacy = _run(strategy, incremental=False, with_failures=True)
+        assert _fingerprint(incremental) == _fingerprint(legacy)
+
+    def test_repeated_runs_with_failures_identical(self):
+        first = _run("bds", incremental=True, with_failures=True)
+        second = _run("bds", incremental=True, with_failures=True)
+        assert _fingerprint(first) == _fingerprint(second)
