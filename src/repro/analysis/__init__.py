@@ -8,9 +8,17 @@ from repro.analysis.appendix import (
     imbalanced_completion_time,
     theorem_holds,
 )
+from repro.analysis.parallel import BatchStats, RunOutcome, RunSpec, run_many
 from repro.analysis.plots import ascii_bars, ascii_cdf, ascii_xy
+from repro.analysis.runcache import CacheStats, RunCache, spec_fingerprint
 from repro.analysis.sweeps import SweepResult, compare_sweeps, sweep
-from repro.analysis.export import load_result_dict, result_to_dict, save_result
+from repro.analysis.export import (
+    load_result,
+    load_result_dict,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
 
 __all__ = [
     "ascii_bars",
@@ -19,7 +27,9 @@ __all__ = [
     "SweepResult",
     "compare_sweeps",
     "sweep",
+    "load_result",
     "load_result_dict",
+    "result_from_dict",
     "result_to_dict",
     "save_result",
     "Summary",
@@ -32,6 +42,13 @@ __all__ = [
     "make_strategy",
     "run_simulation",
     "STRATEGY_NAMES",
+    "BatchStats",
+    "RunOutcome",
+    "RunSpec",
+    "run_many",
+    "CacheStats",
+    "RunCache",
+    "spec_fingerprint",
     "balanced_completion_time",
     "imbalanced_completion_time",
     "theorem_holds",

@@ -34,6 +34,17 @@ from repro.workload.distributions import APP_PROFILES
 from repro.workload.generator import WorkloadGenerator
 
 
+def _require(outcome) -> SimResult:
+    """Unwrap a :class:`~repro.analysis.parallel.RunOutcome` or raise.
+
+    Experiment batches are all-or-nothing: a failed run means the figure
+    cannot be produced, so surface the worker's error with the run label.
+    """
+    if not outcome.ok:
+        raise RuntimeError(f"run {outcome.spec.label!r} failed: {outcome.error}")
+    return outcome.result
+
+
 # ---------------------------------------------------------------------------
 # Table 1 / Fig. 2 — workload characterization
 # ---------------------------------------------------------------------------
@@ -137,27 +148,41 @@ def fig3_job(block_size: float = 2 * GB) -> MulticastJob:
 
 
 def exp_fig3_illustrative(
-    cycle_seconds: float = 1.0, seed: SeedLike = 3
+    cycle_seconds: float = 1.0,
+    seed: SeedLike = 3,
+    workers: int = 1,
+    cache=None,
+    progress: bool = False,
 ) -> Fig3Result:
     """Run direct vs chain vs BDS on the Fig. 3 scenario.
 
     The paper's example has no bandwidth reservation, so the safety
     threshold is lifted to 100 % here.
     """
-    times: Dict[str, float] = {}
-    for name in ("direct", "chain", "bds"):
+    from repro.analysis.parallel import RunSpec, run_many
+
+    def scenario() -> Tuple[Topology, List[MulticastJob]]:
         topo = fig3_topology()
         job = fig3_job()
         job.bind(topo)
-        result = run_simulation(
-            topo,
-            [job],
-            name,
-            cycle_seconds=cycle_seconds,
+        return topo, [job]
+
+    specs = [
+        RunSpec(
+            strategy=name,
             seed=seed,
+            scenario=scenario,
+            label=f"fig3:{name}",
+            cycle_seconds=cycle_seconds,
             safety_threshold=1.0,
         )
-        times[name] = result.completion_time("fig3")
+        for name in ("direct", "chain", "bds")
+    ]
+    outcomes = run_many(specs, workers=workers, cache=cache, progress=progress)
+    times = {
+        outcome.spec.strategy: _require(outcome).completion_time("fig3")
+        for outcome in outcomes
+    }
     return Fig3Result(
         direct_s=times["direct"], chain_s=times["chain"], bds_s=times["bds"]
     )
@@ -358,53 +383,94 @@ def exp_fig9_bds_vs_gingko(
     block_size: float = 4 * MB,
     seed: SeedLike = 9,
     days: int = 5,
+    workers: int = 1,
+    cache=None,
+    progress: bool = False,
 ) -> Fig9Result:
     """BDS vs Gingko: one large multicast (9a), three size classes (9b),
-    and a per-day timeseries (9c), all on a 1-source/10-destination mesh."""
+    and a per-day timeseries (9c), all on a 1-source/10-destination mesh.
 
-    def run_one(name: str, size: float, run_seed: int) -> SimResult:
-        topo = _fig9_topology(servers_per_dc)
-        job = MulticastJob(
-            job_id="fig9",
-            src_dc="dc0",
-            dst_dcs=tuple(f"dc{i}" for i in range(1, 11)),
-            total_bytes=size,
-            block_size=block_size,
-        )
-        job.bind(topo)
-        return run_simulation(topo, [job], name, seed=run_seed)
+    The full panel — 2 headline runs + 12 size-class runs + ``2*days``
+    timeseries runs — is submitted as one :func:`run_many` batch, so it
+    fans out across every (sub-figure, strategy, seed) cell at once.
+    """
+    from repro.analysis.parallel import RunSpec, run_many
 
-    # (a) the headline CDF.
-    bds = run_one("bds", file_bytes, 90)
-    gingko = run_one("gingko", file_bytes, 90)
-    bds_times = bds.server_completion_times("fig9")
-    gingko_times = gingko.server_completion_times("fig9")
-    median = lambda xs: sorted(xs)[len(xs) // 2]
-    speedup = median(gingko_times) / max(median(bds_times), 1e-9)
+    def make_scenario(size: float):
+        def _scenario() -> Tuple[Topology, List[MulticastJob]]:
+            topo = _fig9_topology(servers_per_dc)
+            job = MulticastJob(
+                job_id="fig9",
+                src_dc="dc0",
+                dst_dcs=tuple(f"dc{i}" for i in range(1, 11)),
+                total_bytes=size,
+                block_size=block_size,
+            )
+            job.bind(topo)
+            return topo, [job]
 
-    # (b) three applications: large / medium / small data volumes.
+        return _scenario
+
     sizes = {
         "large": file_bytes,
         "medium": file_bytes / 4,
         "small": file_bytes / 16,
     }
-    by_app: Dict[str, Dict[str, Tuple[float, float]]] = {}
+
+    specs: List[RunSpec] = []
+    keys: List[Tuple[str, ...]] = []
+
+    def add(key: Tuple[str, ...], name: str, size: float, run_seed: int) -> None:
+        specs.append(
+            RunSpec(
+                strategy=name,
+                seed=run_seed,
+                scenario=make_scenario(size),
+                label="fig9:" + ":".join(key),
+            )
+        )
+        keys.append(key)
+
+    # (a) the headline CDF.
+    for name in ("bds", "gingko"):
+        add(("a", name), name, file_bytes, 90)
+    # (b) three applications: large / medium / small data volumes.
     for app, size in sizes.items():
+        for name in ("gingko", "bds"):
+            for rep in range(2):
+                add(("b", app, name, str(rep)), name, size, 100 + rep)
+    # (c) one job per day for ``days`` days.
+    for day in range(days):
+        for name in ("gingko", "bds"):
+            add(("c", str(day), name), name, file_bytes / 2, 200 + day)
+
+    outcomes = run_many(specs, workers=workers, cache=cache, progress=progress)
+    by_key = {
+        key: _require(outcome) for key, outcome in zip(keys, outcomes)
+    }
+
+    bds_times = by_key[("a", "bds")].server_completion_times("fig9")
+    gingko_times = by_key[("a", "gingko")].server_completion_times("fig9")
+    median = lambda xs: sorted(xs)[len(xs) // 2]
+    speedup = median(gingko_times) / max(median(bds_times), 1e-9)
+
+    by_app: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for app in sizes:
         by_app[app] = {}
         for name in ("gingko", "bds"):
-            samples = []
-            for rep in range(2):
-                res = run_one(name, size, 100 + rep)
-                samples.append(res.completion_time("fig9"))
+            samples = [
+                by_key[("b", app, name, str(rep))].completion_time("fig9")
+                for rep in range(2)
+            ]
             stats = summarize(samples)
             by_app[app][name] = (stats.mean, stats.std)
 
-    # (c) one job per day for ``days`` days.
     timeseries: Dict[str, List[float]] = {"gingko": [], "bds": []}
     for day in range(days):
         for name in ("gingko", "bds"):
-            res = run_one(name, file_bytes / 2, 200 + day)
-            timeseries[name].append(res.completion_time("fig9"))
+            timeseries[name].append(
+                by_key[("c", str(day), name)].completion_time("fig9")
+            )
 
     return Fig9Result(
         bds_server_times=bds_times,
@@ -454,14 +520,18 @@ def exp_table3_overlay_comparison(
     strategies: Sequence[str] = ("bullet", "akamai", "bds"),
     block_size: float = 8 * MB,
     seed: SeedLike = 11,
+    workers: int = 1,
+    cache=None,
+    progress: bool = False,
 ) -> Table3Result:
-    """Completion times of BDS/Bullet/Akamai in the Table 3 setups."""
-    chosen = setups or tuple(TABLE3_SETUPS)
-    times: Dict[str, Dict[str, float]] = {}
-    for setup_name in chosen:
-        params = TABLE3_SETUPS[setup_name]
-        times[setup_name] = {}
-        for strategy in strategies:
+    """Completion times of BDS/Bullet/Akamai in the Table 3 setups.
+
+    The setup × strategy matrix runs as one :func:`run_many` batch.
+    """
+    from repro.analysis.parallel import RunSpec, run_many
+
+    def make_scenario(params: Dict[str, float]):
+        def _scenario() -> Tuple[Topology, List[MulticastJob]]:
             topo = Topology.full_mesh(
                 num_dcs=12,
                 servers_per_dc=int(params["servers_per_dc"]),
@@ -476,8 +546,29 @@ def exp_table3_overlay_comparison(
                 block_size=block_size,
             )
             job.bind(topo)
-            result = run_simulation(topo, [job], strategy, seed=seed)
-            times[setup_name][strategy] = result.completion_time("table3")
+            return topo, [job]
+
+        return _scenario
+
+    chosen = setups or tuple(TABLE3_SETUPS)
+    specs = []
+    cells = []
+    for setup_name in chosen:
+        scenario = make_scenario(TABLE3_SETUPS[setup_name])
+        for strategy in strategies:
+            specs.append(
+                RunSpec(
+                    strategy=strategy,
+                    seed=seed,
+                    scenario=scenario,
+                    label=f"table3:{setup_name}:{strategy}",
+                )
+            )
+            cells.append((setup_name, strategy))
+    outcomes = run_many(specs, workers=workers, cache=cache, progress=progress)
+    times: Dict[str, Dict[str, float]] = {name: {} for name in chosen}
+    for (setup_name, strategy), outcome in zip(cells, outcomes):
+        times[setup_name][strategy] = _require(outcome).completion_time("table3")
     return Table3Result(times=times)
 
 
@@ -653,22 +744,47 @@ def exp_fig12b_block_size(
     small_block: float = 2 * MB,
     large_block: float = 64 * MB,
     seed: SeedLike = 12,
+    workers: int = 1,
+    cache=None,
+    progress: bool = False,
 ) -> Fig12bResult:
     """Completion per destination DC for small vs large blocks (Fig. 12b)."""
+    from repro.analysis.parallel import RunSpec, run_many
+
+    def make_scenario(block_size: float):
+        def _scenario() -> Tuple[Topology, List[MulticastJob]]:
+            topo = Topology.full_mesh(
+                num_dcs=11,
+                servers_per_dc=4,
+                wan_capacity=500 * MBps,
+                uplink=25 * MBps,
+            )
+            job = MulticastJob(
+                job_id="blk",
+                src_dc="dc0",
+                dst_dcs=tuple(f"dc{i}" for i in range(1, 11)),
+                total_bytes=file_bytes,
+                block_size=block_size,
+            )
+            job.bind(topo)
+            return topo, [job]
+
+        return _scenario
+
+    labelled = (("2M/blk", small_block), ("64M/blk", large_block))
+    specs = [
+        RunSpec(
+            strategy="bds",
+            seed=seed,
+            scenario=make_scenario(block_size),
+            label=f"fig12b:{label}",
+        )
+        for label, block_size in labelled
+    ]
+    outcomes = run_many(specs, workers=workers, cache=cache, progress=progress)
     per_dc: Dict[str, List[float]] = {}
-    for label, block_size in (("2M/blk", small_block), ("64M/blk", large_block)):
-        topo = Topology.full_mesh(
-            num_dcs=11, servers_per_dc=4, wan_capacity=500 * MBps, uplink=25 * MBps
-        )
-        job = MulticastJob(
-            job_id="blk",
-            src_dc="dc0",
-            dst_dcs=tuple(f"dc{i}" for i in range(1, 11)),
-            total_bytes=file_bytes,
-            block_size=block_size,
-        )
-        job.bind(topo)
-        result = run_simulation(topo, [job], "bds", seed=seed)
+    for (label, _), outcome in zip(labelled, outcomes):
+        result = _require(outcome)
         per_dc[label] = [
             result.dc_completion[("blk", f"dc{i}")] for i in range(1, 11)
         ]
@@ -685,6 +801,9 @@ def exp_fig12c_cycle_length(
     cycle_lengths: Sequence[float] = (0.5, 1, 2, 3, 5, 10, 20, 40, 60, 95),
     file_bytes: float = 1 * GB,
     seed: SeedLike = 12,
+    workers: int = 1,
+    cache=None,
+    progress: bool = False,
 ) -> Fig12cResult:
     """Completion time vs update-cycle length (Fig. 12c).
 
@@ -694,8 +813,9 @@ def exp_fig12c_cycle_length(
     TCP re-establishment for flows that change endpoints
     (``flow_setup_seconds``) — both modeled inside the simulator.
     """
-    times: List[float] = []
-    for dt in cycle_lengths:
+    from repro.analysis.parallel import RunSpec, run_many
+
+    def scenario() -> Tuple[Topology, List[MulticastJob]]:
         topo = Topology.full_mesh(
             num_dcs=6, servers_per_dc=4, wan_capacity=500 * MBps, uplink=25 * MBps
         )
@@ -707,19 +827,22 @@ def exp_fig12c_cycle_length(
             block_size=8 * MB,
         )
         job.bind(topo)
-        strategy = make_strategy("bds", seed=seed)
-        sim = Simulation(
-            topology=topo,
-            jobs=[job],
-            strategy=strategy,
-            config=SimConfig(
-                cycle_seconds=dt,
-                control_overhead_seconds=min(0.3, dt * 0.55),
-                flow_setup_seconds=0.2,
-            ),
+        return topo, [job]
+
+    specs = [
+        RunSpec(
+            strategy="bds",
             seed=seed,
+            scenario=scenario,
+            label=f"fig12c:dt={dt}",
+            cycle_seconds=dt,
+            control_overhead_seconds=min(0.3, dt * 0.55),
+            flow_setup_seconds=0.2,
         )
-        times.append(sim.run().completion_time("cyc"))
+        for dt in cycle_lengths
+    ]
+    outcomes = run_many(specs, workers=workers, cache=cache, progress=progress)
+    times = [_require(outcome).completion_time("cyc") for outcome in outcomes]
     return Fig12cResult(
         cycle_lengths_s=list(cycle_lengths), completion_times_s=times
     )
@@ -775,18 +898,18 @@ def exp_fig13b_near_optimality(
     block_counts: Sequence[int] = (50, 100, 200, 400),
     rate: float = 20 * MBps,
     seed: SeedLike = 13,
+    workers: int = 1,
+    cache=None,
+    progress: bool = False,
 ) -> Fig13bResult:
     """Completion time of BDS vs the standard LP at small scale (Fig. 13b).
 
     Paper setup: 2 DCs, 4 servers, 20 MB/s server rates, varying blocks.
     """
-    bds_times: List[float] = []
-    lp_times: List[float] = []
-    for count in block_counts:
-        for strategy_name, bucket in (
-            ("bds", bds_times),
-            ("bds-standard-lp", lp_times),
-        ):
+    from repro.analysis.parallel import RunSpec, run_many
+
+    def make_scenario(count: int):
+        def _scenario() -> Tuple[Topology, List[MulticastJob]]:
             topo = Topology.full_mesh(
                 num_dcs=2, servers_per_dc=2, wan_capacity=1 * GB, uplink=rate
             )
@@ -798,10 +921,31 @@ def exp_fig13b_near_optimality(
                 block_size=2 * MB,
             )
             job.bind(topo)
-            result = run_simulation(
-                topo, [job], strategy_name, cycle_seconds=3.0, seed=seed
-            )
-            bucket.append(result.completion_time("opt"))
+            return topo, [job]
+
+        return _scenario
+
+    pairs = [
+        (count, strategy_name)
+        for count in block_counts
+        for strategy_name in ("bds", "bds-standard-lp")
+    ]
+    specs = [
+        RunSpec(
+            strategy=strategy_name,
+            seed=seed,
+            scenario=make_scenario(count),
+            label=f"fig13b:{strategy_name}:blocks={count}",
+            cycle_seconds=3.0,
+        )
+        for count, strategy_name in pairs
+    ]
+    outcomes = run_many(specs, workers=workers, cache=cache, progress=progress)
+    bds_times: List[float] = []
+    lp_times: List[float] = []
+    for (count, strategy_name), outcome in zip(pairs, outcomes):
+        bucket = bds_times if strategy_name == "bds" else lp_times
+        bucket.append(_require(outcome).completion_time("opt"))
     return Fig13bResult(
         block_counts=list(block_counts),
         bds_times_s=bds_times,

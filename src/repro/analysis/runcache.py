@@ -1,0 +1,241 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A simulation is a pure function of (topology, jobs, strategy, simulation
+knobs, seed): the simulator is deterministic end to end, so a run whose
+inputs have not changed never needs to execute again. This module gives
+that fact teeth for the figure suite: every
+:class:`~repro.analysis.parallel.RunSpec` is fingerprinted into a stable
+SHA-256 key over the *canonical JSON* of its inputs plus a code-version
+salt, and completed runs are stored as export payloads
+(:mod:`repro.analysis.export`, format v3) under ``.repro-cache/``.
+
+Salting: bump :data:`CACHE_CODE_VERSION` whenever a change alters
+simulation *semantics* (delivery order, rate allocation, completion
+accounting). Pure-performance changes that keep results bit-identical —
+the incremental engine, the allocator's incremental load bookkeeping —
+must NOT bump it, so warm caches survive optimization PRs.
+
+Corrupted or truncated entries (interrupted writes, version skew) are
+treated as misses: the entry is deleted and the run re-executes. Writes
+go through a temp file + atomic rename so concurrent suite invocations
+sharing one cache directory never observe half-written payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.analysis.export import (
+    EXPORT_FORMAT_VERSION,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.net.simulator import SimResult
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+
+PathLike = Union[str, Path]
+
+#: Default cache location, overridable via the ``REPRO_CACHE_DIR``
+#: environment variable or an explicit ``RunCache(root=...)``.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Simulation-semantics salt folded into every fingerprint. Bump on any
+#: change that alters simulated results for identical inputs.
+CACHE_CODE_VERSION = "sim-v1"
+
+
+def _topology_payload(topology: Topology) -> Dict[str, Any]:
+    """Canonical JSON shape of a topology (order-independent)."""
+    return {
+        "dcs": sorted(topology.dcs),
+        "servers": sorted(
+            [s.server_id, s.dc, s.uplink, s.downlink]
+            for s in topology.servers.values()
+        ),
+        "links": sorted(
+            [l.src_dc, l.dst_dc, l.capacity] for l in topology.links.values()
+        ),
+    }
+
+
+def _job_payload(job: MulticastJob) -> Dict[str, Any]:
+    """Canonical JSON shape of a job (striping is derived, so parameters
+    plus the topology payload pin it down completely)."""
+    return {
+        "job_id": job.job_id,
+        "src_dc": job.src_dc,
+        "dst_dcs": list(job.dst_dcs),
+        "relay_dcs": list(job.relay_dcs),
+        "total_bytes": job.total_bytes,
+        "block_size": job.block_size,
+        "arrival_time": job.arrival_time,
+        "priority": job.priority,
+    }
+
+
+def spec_fingerprint(
+    topology: Topology,
+    jobs: Sequence[MulticastJob],
+    strategy: str,
+    knobs: Mapping[str, Any],
+    seed: Any,
+    config: Any = None,
+) -> Optional[str]:
+    """SHA-256 content address of one run's inputs, or ``None``.
+
+    ``None`` means the spec is *uncacheable*: the seed is a live RNG
+    object or some knob is not JSON-representable, so no stable content
+    address exists. Callers then simply execute the run.
+    """
+    if seed is not None and not isinstance(seed, int):
+        return None
+    if config is not None:
+        try:
+            from dataclasses import asdict
+
+            config_payload: Any = asdict(config)
+        except TypeError:
+            return None
+    else:
+        config_payload = None
+    payload = {
+        "code_version": CACHE_CODE_VERSION,
+        "export_version": EXPORT_FORMAT_VERSION,
+        "topology": _topology_payload(topology),
+        "jobs": [_job_payload(j) for j in jobs],
+        "strategy": strategy,
+        "knobs": dict(knobs),
+        "seed": seed,
+        "strategy_config": config_payload,
+    }
+    try:
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for one :class:`RunCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0  # corrupted/unreadable entries dropped and re-run
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+        }
+
+
+class RunCache:
+    """Content-addressed store of exported :class:`SimResult` payloads.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — two-level fanout keeps
+    directory listings manageable for thousands of entries.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: Optional[str]) -> Optional[SimResult]:
+        """The restored result for ``key``, or ``None`` on a miss.
+
+        A corrupted entry (bad JSON, wrong format version, missing
+        fields) is deleted, counted in ``stats.invalid``, and reported as
+        a miss so the caller re-runs and overwrites it.
+        """
+        if key is None:
+            return None
+        path = self._entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = result_from_dict(payload)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: Optional[str], result: SimResult) -> None:
+        """Store an exported copy of ``result`` under ``key`` (atomic)."""
+        if key is None:
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = result_to_dict(result, include_cycles=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- maintenance --------------------------------------------------------
+
+    def _entry_files(self) -> Iterable[Path]:
+        if not self.root.is_dir():
+            return []
+        return self.root.glob("*/*.json")
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entry_files())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._entry_files())
+
+    def purge(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_files()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        # Drop now-empty fanout directories (best-effort).
+        if self.root.is_dir():
+            for sub in list(self.root.iterdir()):
+                if sub.is_dir():
+                    try:
+                        sub.rmdir()
+                    except OSError:
+                        pass
+        return removed

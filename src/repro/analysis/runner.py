@@ -80,8 +80,19 @@ def run_simulation(
     record_link_stats: bool = False,
     config: Optional[BDSConfig] = None,
     safety_threshold: float = 0.8,
+    incremental_engine: bool = True,
+    control_overhead_seconds: float = 0.0,
+    flow_setup_seconds: float = 0.0,
+    stop_when_complete: bool = True,
+    links_of_interest: tuple = (),
 ) -> SimResult:
-    """Run one strategy over the given jobs and return the result."""
+    """Run one strategy over the given jobs and return the result.
+
+    Exposes every :class:`SimConfig` knob — including the
+    ``incremental_engine`` A/B switch and the Fig. 12c overhead model —
+    so sweeps and the parallel engine can exercise both engines without
+    hand-building a :class:`Simulation`.
+    """
     strategy = make_strategy(strategy_name, seed=seed, config=config)
     sim = Simulation(
         topology=topology,
@@ -92,6 +103,11 @@ def run_simulation(
             max_cycles=max_cycles,
             record_link_stats=record_link_stats,
             safety_threshold=safety_threshold,
+            incremental_engine=incremental_engine,
+            control_overhead_seconds=control_overhead_seconds,
+            flow_setup_seconds=flow_setup_seconds,
+            stop_when_complete=stop_when_complete,
+            links_of_interest=tuple(links_of_interest),
         ),
         background=background,
         failures=failures,
@@ -107,22 +123,43 @@ def compare_strategies(
     cycle_seconds: float = 3.0,
     max_cycles: int = 100_000,
     seed: SeedLike = 7,
+    workers: int = 1,
+    cache=None,
+    progress: bool = False,
 ) -> Dict[str, SimResult]:
     """Run several strategies over *fresh* identical topologies and jobs.
 
     Factories are invoked per strategy so that no simulation state (job
-    binding, strategy caches) leaks between runs.
+    binding, strategy caches) leaks between runs. ``workers>1`` fans the
+    per-strategy runs out over a process pool
+    (:func:`repro.analysis.parallel.run_many`) with results bit-identical
+    to ``workers=1``; ``cache`` (a
+    :class:`repro.analysis.runcache.RunCache`) skips runs whose inputs
+    are already cached.
     """
-    results: Dict[str, SimResult] = {}
-    for name in strategy_names:
+    from repro.analysis.parallel import RunSpec, run_many
+
+    def scenario() -> tuple:
         topology = topology_factory()
-        jobs = jobs_factory(topology)
-        results[name] = run_simulation(
-            topology,
-            jobs,
-            name,
+        return topology, jobs_factory(topology)
+
+    specs = [
+        RunSpec(
+            strategy=name,
+            seed=seed,
+            scenario=scenario,
+            label=name,
             cycle_seconds=cycle_seconds,
             max_cycles=max_cycles,
-            seed=seed,
         )
+        for name in strategy_names
+    ]
+    outcomes = run_many(specs, workers=workers, cache=cache, progress=progress)
+    results: Dict[str, SimResult] = {}
+    for name, outcome in zip(strategy_names, outcomes):
+        if not outcome.ok:
+            raise RuntimeError(
+                f"strategy {name!r} failed: {outcome.error}"
+            )
+        results[name] = outcome.result
     return results

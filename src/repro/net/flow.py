@@ -56,6 +56,13 @@ def max_min_fair_rates(
     honoured: a flow freezes when it hits its own cap, releasing capacity
     to the others. Runs in O(iterations × flows × path length); iterations
     are bounded by the number of resources plus the number of flows.
+
+    The per-resource active-flow counts (``load``) only ever lose flows as
+    the filling progresses, so they are maintained incrementally: each
+    frozen flow decrements its resources' counts instead of the counts
+    being rebuilt from every active flow each iteration. Allocations are
+    bit-identical to the reference rebuild-every-iteration implementation
+    (kept as :func:`_max_min_fair_rates_reference` for the A/B benchmark).
     """
     rates: Dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
     active: List[Flow] = [f for f in flows if f.effective_cap() > 0]
@@ -65,18 +72,18 @@ def max_min_fair_rates(
     residual: Dict[ResourceKey, float] = dict(capacities)
     level = 0.0  # the common fair-share water level so far
 
-    while active:
-        # Count active flows per resource to find the next saturation point.
-        load: Dict[ResourceKey, int] = {}
-        for flow in active:
-            for res in flow.resources:
-                load[res] = load.get(res, 0) + 1
+    # Active flows per resource; maintained incrementally as flows freeze.
+    load: Dict[ResourceKey, int] = {}
+    for flow in active:
+        for res in flow.resources:
+            if res not in residual:
+                raise KeyError(f"flow references unknown resource {res!r}")
+            load[res] = load.get(res, 0) + 1
 
+    while active:
         # Smallest increment that saturates a resource or hits a flow cap.
         increment = float("inf")
         for res, count in load.items():
-            if res not in residual:
-                raise KeyError(f"flow references unknown resource {res!r}")
             increment = min(increment, residual[res] / count)
         for flow in active:
             increment = min(increment, flow.effective_cap() - level)
@@ -93,13 +100,77 @@ def max_min_fair_rates(
                 residual[res] = 0.0
 
         still_active: List[Flow] = []
+        frozen: List[Flow] = []
+        for flow in active:
+            capped = flow.effective_cap() - level <= 1e-12
+            saturated = any(residual[res] <= 1e-9 for res in flow.resources)
+            if capped or saturated:
+                frozen.append(flow)
+            else:
+                still_active.append(flow)
+        if not frozen:
+            # Numerical stalemate; freeze everything to terminate.
+            break
+        for flow in frozen:
+            for res in flow.resources:
+                load[res] -= 1
+                if load[res] == 0:
+                    del load[res]
+        active = still_active
+    return rates
+
+
+def _max_min_fair_rates_reference(
+    flows: Sequence[Flow],
+    capacities: Mapping[ResourceKey, float],
+) -> Dict[Hashable, float]:
+    """The original allocator rebuilding ``load`` every iteration.
+
+    Kept as the in-tree baseline for the allocator A/B in
+    ``benchmarks/bench_parallel_suite.py`` and the equivalence regression
+    in ``tests/test_flow.py``; :func:`max_min_fair_rates` must match it
+    bit-for-bit on every input.
+    """
+    rates: Dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
+    active: List[Flow] = [f for f in flows if f.effective_cap() > 0]
+    for flow in flows:
+        if flow.effective_cap() <= 0:
+            rates[flow.flow_id] = 0.0
+    residual: Dict[ResourceKey, float] = dict(capacities)
+    level = 0.0
+
+    while active:
+        load: Dict[ResourceKey, int] = {}
+        for flow in active:
+            for res in flow.resources:
+                load[res] = load.get(res, 0) + 1
+
+        increment = float("inf")
+        for res, count in load.items():
+            if res not in residual:
+                raise KeyError(f"flow references unknown resource {res!r}")
+            increment = min(increment, residual[res] / count)
+        for flow in active:
+            increment = min(increment, flow.effective_cap() - level)
+        if increment == float("inf"):
+            raise ValueError("unbounded allocation: no capacities bind any flow")
+        increment = max(increment, 0.0)
+
+        level += increment
+        for flow in active:
+            rates[flow.flow_id] = level
+        for res, count in load.items():
+            residual[res] -= increment * count
+            if residual[res] < 0:
+                residual[res] = 0.0
+
+        still_active: List[Flow] = []
         for flow in active:
             capped = flow.effective_cap() - level <= 1e-12
             saturated = any(residual[res] <= 1e-9 for res in flow.resources)
             if not (capped or saturated):
                 still_active.append(flow)
         if len(still_active) == len(active):
-            # Numerical stalemate; freeze everything to terminate.
             break
         active = still_active
     return rates

@@ -203,6 +203,42 @@ class SimResult:
         """Bytes moved across all flows over the whole run."""
         return sum(s.bytes_transferred for s in self.cycle_stats)
 
+    def fingerprint(self) -> str:
+        """Stable digest of the run's *deterministic* outputs.
+
+        Covers completion metrics, per-cycle delivery counts, and bytes
+        moved — everything that must be bit-identical across reruns of the
+        same (topology, jobs, strategy, config, seed), but none of the
+        wall-clock timing fields. Two runs with equal fingerprints are
+        interchangeable for every analysis consumer; the serial/parallel
+        parity tests and ``benchmarks/bench_parallel_suite.py`` compare
+        runs through this. Survives the export round-trip
+        (:mod:`repro.analysis.export`), cache restores included.
+        """
+        import hashlib
+        import json
+
+        canonical = json.dumps(
+            {
+                "cycles_run": self.cycles_run,
+                "all_complete": self.all_complete,
+                "job_completion": sorted(self.job_completion.items()),
+                "dc_completion": sorted(
+                    (list(k), v) for k, v in self.dc_completion.items()
+                ),
+                "server_completion": sorted(
+                    (list(k), v) for k, v in self.server_completion.items()
+                ),
+                "blocks_per_cycle": self.blocks_per_cycle(),
+                "bytes_per_cycle": [
+                    s.bytes_transferred for s in self.cycle_stats
+                ],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def summary(self) -> str:
         """A short human-readable report of the run."""
         lines = [

@@ -1,0 +1,227 @@
+"""Parallel experiment engine: fan-out, failure containment, run cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import result_from_dict, result_to_dict
+from repro.analysis.parallel import RunSpec, run_many
+from repro.analysis.runcache import RunCache, spec_fingerprint
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.rng import make_rng
+from repro.utils.units import MB, MBps
+
+SEED = 17
+
+
+def small_scenario(size=32 * MB, block=4 * MB):
+    def _scenario():
+        topo = Topology.full_mesh(
+            num_dcs=3, servers_per_dc=3, wan_capacity=200 * MBps, uplink=20 * MBps
+        )
+        job = MulticastJob(
+            job_id="j",
+            src_dc="dc0",
+            dst_dcs=("dc1", "dc2"),
+            total_bytes=size,
+            block_size=block,
+        )
+        job.bind(topo)
+        return topo, [job]
+
+    return _scenario
+
+
+def spec(strategy="bds", **kwargs):
+    kwargs.setdefault("scenario", small_scenario())
+    kwargs.setdefault("seed", SEED)
+    return RunSpec(strategy=strategy, **kwargs)
+
+
+class TestRunSpec:
+    def test_needs_exactly_one_input_form(self):
+        with pytest.raises(ValueError):
+            RunSpec(strategy="bds")  # neither form
+        topo, jobs = small_scenario()()
+        with pytest.raises(ValueError):
+            RunSpec(
+                strategy="bds",
+                scenario=small_scenario(),
+                topology=topo,
+                jobs=jobs,
+            )
+
+    def test_prebuilt_objects_are_copied_per_materialization(self):
+        topo, jobs = small_scenario()()
+        s = RunSpec(strategy="bds", topology=topo, jobs=jobs)
+        t1, j1 = s.materialize()
+        t2, j2 = s.materialize()
+        assert t1 is not topo and t1 is not t2
+        assert j1[0] is not jobs[0] and j1[0] is not j2[0]
+
+    def test_label_defaults_to_strategy(self):
+        assert spec(strategy="gingko").label == "gingko"
+
+
+class TestRunMany:
+    def test_outcomes_in_spec_order(self):
+        names = ["gingko", "bds", "direct"]
+        outcomes = run_many([spec(strategy=n) for n in names])
+        assert [o.spec.strategy for o in outcomes] == names
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert all(o.ok and o.result.all_complete for o in outcomes)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_many([spec()], workers=0)
+
+    def test_failed_spec_does_not_kill_the_batch(self):
+        outcomes = run_many(
+            [spec(), spec(strategy="no-such-strategy"), spec(strategy="direct")]
+        )
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert "no-such-strategy" in outcomes[1].error
+
+    def test_failed_spec_contained_in_pool_mode(self):
+        outcomes = run_many(
+            [
+                spec(),
+                spec(strategy="no-such-strategy"),
+                spec(strategy="direct"),
+                spec(strategy="gingko"),
+            ],
+            workers=2,
+        )
+        assert [o.ok for o in outcomes] == [True, False, True, True]
+        assert "ValueError" in outcomes[1].error
+
+    def test_scenario_errors_propagate_from_parent(self):
+        # Factory exceptions surface to the caller (the old serial
+        # contract for e.g. "scenario produced no jobs").
+        def broken():
+            raise ValueError("scenario produced no jobs for x=1")
+
+        with pytest.raises(ValueError, match="no jobs"):
+            run_many([RunSpec(strategy="bds", scenario=broken)])
+
+    def test_progress_callback_sees_final_counts(self):
+        seen = []
+        run_many(
+            [spec(), spec(strategy="direct")],
+            on_progress=lambda stats: seen.append(stats.as_dict()),
+        )
+        assert seen[-1]["done"] == 2
+        assert seen[-1]["total"] == 2
+
+
+class TestSpecFingerprint:
+    def args_for(self, s: RunSpec):
+        topo, jobs = s.materialize()
+        return topo, jobs, s.strategy, s.sim_knobs(), s.seed, s.config
+
+    def test_stable_across_materializations(self):
+        a = spec_fingerprint(*self.args_for(spec()))
+        b = spec_fingerprint(*self.args_for(spec()))
+        assert a is not None and a == b
+
+    def test_sensitive_to_seed_strategy_and_knobs(self):
+        base = spec_fingerprint(*self.args_for(spec()))
+        assert base != spec_fingerprint(*self.args_for(spec(seed=SEED + 1)))
+        assert base != spec_fingerprint(*self.args_for(spec(strategy="gingko")))
+        assert base != spec_fingerprint(
+            *self.args_for(spec(cycle_seconds=1.5))
+        )
+
+    def test_rng_object_seed_is_uncacheable(self):
+        s = spec(seed=make_rng(3))
+        assert spec_fingerprint(*self.args_for(s)) is None
+
+
+class TestRunCache:
+    def test_hit_after_identical_spec(self, tmp_path):
+        cache = RunCache(root=tmp_path)
+        first = run_many([spec()], cache=cache)
+        second = run_many([spec()], cache=cache)
+        assert not first[0].cached and second[0].cached
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+        assert first[0].result.fingerprint() == second[0].result.fingerprint()
+
+    def test_miss_after_config_change(self, tmp_path):
+        cache = RunCache(root=tmp_path)
+        run_many([spec()], cache=cache)
+        changed = run_many([spec(cycle_seconds=1.5)], cache=cache)
+        assert not changed[0].cached
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = RunCache(root=tmp_path)
+        original = run_many([spec()], cache=cache)
+        entry = next(iter(cache._entry_files()))
+        entry.write_text("{ not json", encoding="utf-8")
+
+        fresh = RunCache(root=tmp_path)
+        again = run_many([spec()], cache=fresh)
+        assert not again[0].cached  # corrupt entry treated as a miss
+        assert fresh.stats.invalid == 1 and fresh.stats.stores == 1
+        assert again[0].result.fingerprint() == original[0].result.fingerprint()
+        # The overwritten entry serves the next lookup.
+        warm = run_many([spec()], cache=fresh)
+        assert warm[0].cached
+
+    def test_wrong_format_version_invalidated(self, tmp_path):
+        cache = RunCache(root=tmp_path)
+        run_many([spec()], cache=cache)
+        entry = next(iter(cache._entry_files()))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["format_version"] = 99
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+
+        fresh = RunCache(root=tmp_path)
+        again = run_many([spec()], cache=fresh)
+        assert not again[0].cached and fresh.stats.invalid == 1
+
+    def test_in_flight_dedup_executes_once(self, tmp_path):
+        cache = RunCache(root=tmp_path)
+        outcomes = run_many([spec(), spec(), spec()], cache=cache)
+        assert outcomes[0].ok and not outcomes[0].deduped
+        assert outcomes[1].deduped and outcomes[2].deduped
+        assert outcomes[1].result is outcomes[0].result
+        assert cache.stats.stores == 1
+
+    def test_uncacheable_spec_still_runs(self, tmp_path):
+        cache = RunCache(root=tmp_path)
+        outcomes = run_many([spec(seed=make_rng(3))], cache=cache)
+        assert outcomes[0].ok
+        assert outcomes[0].fingerprint is None
+        assert cache.entry_count() == 0
+
+    def test_purge_removes_entries(self, tmp_path):
+        cache = RunCache(root=tmp_path)
+        run_many([spec(), spec(strategy="direct")], cache=cache)
+        assert cache.entry_count() == 2
+        assert cache.purge() == 2
+        assert cache.entry_count() == 0 and cache.size_bytes() == 0
+
+
+class TestResultRoundTrip:
+    def test_fingerprint_survives_export_import(self):
+        result = run_many([spec()])[0].result
+        restored = result_from_dict(result_to_dict(result, include_cycles=True))
+        assert restored.fingerprint() == result.fingerprint()
+        assert restored.job_completion == result.job_completion
+        assert restored.dc_completion == result.dc_completion
+        assert restored.server_completion == result.server_completion
+        assert restored.blocks_per_cycle() == result.blocks_per_cycle()
+        assert restored.completion_time("j") == result.completion_time("j")
+
+    def test_store_origin_fractions_survive(self):
+        result = run_many([spec()])[0].result
+        restored = result_from_dict(result_to_dict(result, include_cycles=True))
+        assert (
+            restored.store.origin_fraction_by_server()
+            == result.store.origin_fraction_by_server()
+        )
