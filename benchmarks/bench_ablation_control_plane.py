@@ -16,7 +16,7 @@ from repro.core.diffs import diff_stats_over_run
 from repro.net.simulator import SimConfig, Simulation
 from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB, MBps
 
 
 def _run(speculation_horizon: float = 0.0):

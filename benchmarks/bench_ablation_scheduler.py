@@ -16,7 +16,7 @@ from repro.core.scheduling import RarestFirstScheduler
 from repro.net.simulator import ClusterView, SimConfig, Simulation
 from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB, MBps
 
 
 class InOrderScheduler(RarestFirstScheduler):

@@ -48,8 +48,8 @@ def test_fig12b_block_size(benchmark, report):
     small = result.per_dc_times["2M/blk"]
     large = result.per_dc_times["64M/blk"]
     rows = [
-        [f"dc{i + 1}", f"{s:.0f}s", f"{l:.0f}s", f"{l / s:.2f}x"]
-        for i, (s, l) in enumerate(zip(small, large))
+        [f"dc{i + 1}", f"{s:.0f}s", f"{lg:.0f}s", f"{lg / s:.2f}x"]
+        for i, (s, lg) in enumerate(zip(small, large))
     ]
     report(
         "\n[Fig. 12b] Completion time per destination DC by block size\n"

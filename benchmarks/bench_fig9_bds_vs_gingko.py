@@ -7,7 +7,6 @@ lower variance, with larger gains on larger transfers; (c) a consistent
 down (see EXPERIMENTS.md) and reproduces the ordering and multi-x gap.
 """
 
-import statistics
 
 from repro.analysis.experiments import exp_fig9_bds_vs_gingko
 from repro.analysis.plots import ascii_cdf

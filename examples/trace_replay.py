@@ -19,7 +19,7 @@ from pathlib import Path
 from repro import Topology, WorkloadGenerator
 from repro.analysis.metrics import summarize
 from repro.analysis.runner import run_simulation
-from repro.utils.units import GB, MB, MBps, format_bytes, format_duration
+from repro.utils.units import MB, MBps, format_bytes, format_duration
 from repro.workload.traces import replay_as_jobs, save_trace
 
 SIZE_SCALE = 1e-4

@@ -16,7 +16,6 @@ with ``V`` the untransmitted volume and ``R = min(R_up, R_down)``. Since
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.utils.validation import check_positive

@@ -10,28 +10,29 @@ the examples reuse the smaller ones directly.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import summarize
 from repro.analysis.runner import make_strategy, run_simulation
-from repro.baselines.ideal import ideal_completion_time, ideal_server_times
-from repro.core import BDSConfig, BDSController
+from repro.baselines.ideal import ideal_server_times
+from repro.core import BDSController
 from repro.core.formulation import StandardLPRouter
-from repro.core.scheduling import RarestFirstScheduler
 from repro.net.background import BackgroundTraffic, delay_inflation
 from repro.net.failures import FailureSchedule
 from repro.net.latency import LatencyModel
 from repro.net.paths import throughput_ratio_samples
 from repro.net.simulator import SimConfig, SimResult, Simulation
 from repro.net.topology import Topology, wan_key
-from repro.overlay.agent import ServerAgent
 from repro.overlay.job import MulticastJob
 from repro.overlay.monitor import AgentMonitor
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.units import GB, MB, MBps
-from repro.workload.distributions import APP_PROFILES
 from repro.workload.generator import WorkloadGenerator
+
+
+def _median(xs: Sequence[float]) -> float:
+    return sorted(xs)[len(xs) // 2]
 
 
 def _require(outcome) -> SimResult:
@@ -256,11 +257,10 @@ def exp_fig5_gingko_vs_ideal(
     gingko_times = result.server_completion_times("fig5")
     ideal = ideal_server_times(topo, job)
     ideal_times = list(ideal.values())
-    median = lambda xs: sorted(xs)[len(xs) // 2]
     return Fig5Result(
         gingko_times=gingko_times,
         ideal_times=ideal_times,
-        median_ratio=median(gingko_times) / max(median(ideal_times), 1e-9),
+        median_ratio=_median(gingko_times) / max(_median(ideal_times), 1e-9),
     )
 
 
@@ -451,8 +451,7 @@ def exp_fig9_bds_vs_gingko(
 
     bds_times = by_key[("a", "bds")].server_completion_times("fig9")
     gingko_times = by_key[("a", "gingko")].server_completion_times("fig9")
-    median = lambda xs: sorted(xs)[len(xs) // 2]
-    speedup = median(gingko_times) / max(median(bds_times), 1e-9)
+    speedup = _median(gingko_times) / max(_median(bds_times), 1e-9)
 
     by_app: Dict[str, Dict[str, Tuple[float, float]]] = {}
     for app in sizes:

@@ -25,7 +25,12 @@ from repro.net.simulator import CycleStats, SimResult
 
 PathLike = Union[str, Path]
 
-EXPORT_FORMAT_VERSION = 3
+EXPORT_FORMAT_VERSION = 4
+
+#: Versions :func:`result_from_dict` can restore. v3 payloads predate the
+#: routing-solver telemetry (iterations/phases/warm_start), which simply
+#: restores to the zero/empty defaults.
+_READABLE_VERSIONS = (3, 4)
 
 
 def _resource_to_str(key) -> str:
@@ -89,6 +94,11 @@ def result_to_dict(result: SimResult, include_cycles: bool = True) -> Dict[str, 
                     "rate_resolve": s.time_rate_resolve,
                     "deliver": s.time_deliver,
                 },
+                "routing_solver": {
+                    "iterations": s.routing_iterations,
+                    "phases": s.routing_phases,
+                    "warm_start": s.routing_warm_start,
+                },
             }
             for s in result.cycle_stats
         ]
@@ -111,7 +121,7 @@ class RestoredPossession:
 
 
 def result_from_dict(payload: Dict[str, Any]) -> SimResult:
-    """Rebuild a :class:`SimResult` from a format-v3 export payload.
+    """Rebuild a :class:`SimResult` from a format-v3/v4 export payload.
 
     The inverse of :func:`result_to_dict` for everything the analysis
     layer consumes: completion dicts (bit-identical — JSON round-trips
@@ -119,14 +129,15 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
     :class:`RestoredPossession` carrying the origin fractions.
     """
     version = payload.get("format_version")
-    if version != EXPORT_FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported export format version {version!r} "
-            f"(expected {EXPORT_FORMAT_VERSION})"
+            f"(expected one of {_READABLE_VERSIONS})"
         )
     cycle_stats: List[CycleStats] = []
     for entry in payload.get("cycles", []):
         stage = entry.get("stage_times", {})
+        solver = entry.get("routing_solver", {})
         cycle_stats.append(
             CycleStats(
                 cycle=entry["cycle"],
@@ -150,6 +161,9 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
                 time_route=stage.get("route", 0.0),
                 time_rate_resolve=stage.get("rate_resolve", 0.0),
                 time_deliver=stage.get("deliver", 0.0),
+                routing_iterations=solver.get("iterations", 0),
+                routing_phases=solver.get("phases", 0),
+                routing_warm_start=solver.get("warm_start", ""),
             )
         )
     return SimResult(
@@ -185,10 +199,10 @@ def load_result_dict(path: PathLike) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     version = payload.get("format_version")
-    if version != EXPORT_FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported export format version {version!r} "
-            f"(expected {EXPORT_FORMAT_VERSION})"
+            f"(expected one of {_READABLE_VERSIONS})"
         )
     return payload
 

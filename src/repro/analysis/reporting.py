@@ -7,9 +7,9 @@ a terminal (no plotting dependencies are available offline).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
-from repro.analysis.metrics import empirical_cdf, percentile
+from repro.analysis.metrics import percentile
 
 
 def format_table(

@@ -48,7 +48,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Simulation-semantics salt folded into every fingerprint. Bump on any
 #: change that alters simulated results for identical inputs.
-CACHE_CODE_VERSION = "sim-v1"
+#: sim-v2: the fptas routing backend switched to the Fleischer phase
+#: solver, which allocates (equally ε-optimal but numerically different)
+#: path rates than the old global-argmin loop.
+CACHE_CODE_VERSION = "sim-v2"
 
 
 def _topology_payload(topology: Topology) -> Dict[str, Any]:
@@ -60,7 +63,7 @@ def _topology_payload(topology: Topology) -> Dict[str, Any]:
             for s in topology.servers.values()
         ),
         "links": sorted(
-            [l.src_dc, l.dst_dc, l.capacity] for l in topology.links.values()
+            [lnk.src_dc, lnk.dst_dc, lnk.capacity] for lnk in topology.links.values()
         ),
     }
 

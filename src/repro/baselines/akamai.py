@@ -18,7 +18,7 @@ block order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.baselines.base import OverlayStrategy
 from repro.net.simulator import ClusterView, TransferDirective

@@ -10,7 +10,7 @@ multiple bottleneck-disjoint paths at once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.baselines.base import OverlayStrategy
 from repro.net.simulator import ClusterView, TransferDirective

@@ -23,11 +23,11 @@ from repro.overlay.job import MulticastJob
 
 
 def _dc_wan_egress(topology: Topology, dc: str) -> float:
-    return sum(l.capacity for l in topology.links.values() if l.src_dc == dc)
+    return sum(lnk.capacity for lnk in topology.links.values() if lnk.src_dc == dc)
 
 
 def _dc_wan_ingress(topology: Topology, dc: str) -> float:
-    return sum(l.capacity for l in topology.links.values() if l.dst_dc == dc)
+    return sum(lnk.capacity for lnk in topology.links.values() if lnk.dst_dc == dc)
 
 
 def ideal_completion_time(topology: Topology, job: MulticastJob) -> float:

@@ -9,7 +9,6 @@ this adapts to online-traffic dynamics without wasting bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.net.background import BackgroundTraffic

@@ -124,6 +124,9 @@ class BDSController(OverlayStrategy):
                 schedule_runtime=getattr(self.scheduler, "last_runtime", 0.0),
                 routing_runtime=diagnostics.runtime,
                 objective=diagnostics.objective,
+                routing_iterations=diagnostics.iterations,
+                routing_phases=diagnostics.phases,
+                routing_warm_start=diagnostics.warm_start,
             )
         )
         self._previous_directives = directives

@@ -47,6 +47,12 @@ class ControlDecision:
     schedule_runtime: float = 0.0
     routing_runtime: float = 0.0
     objective: float = 0.0  # total allocated bytes/s (Eq. 5 value)
+    # Routing-solver telemetry (FPTAS backend; zero/empty otherwise):
+    # flow pushes, Fleischer phases, and how the solve started ("cold",
+    # "warm", "reuse", "cold-fallback").
+    routing_iterations: int = 0
+    routing_phases: int = 0
+    routing_warm_start: str = ""
 
     @property
     def total_runtime(self) -> float:

@@ -10,8 +10,8 @@ replica group at cycle granularity; the simulation couples its
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.utils.validation import check_positive
 

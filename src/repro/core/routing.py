@@ -22,11 +22,15 @@ Given the scheduling step's block selections, the router:
 from __future__ import annotations
 
 import time as _time
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.decisions import ScheduledBlock
-from repro.lp.mcf import Commodity, PathMCF
+from repro.lp.fptas import max_multicommodity_flow
+from repro.lp.incidence import PathIncidence
+from repro.lp.mcf import Commodity, solve_lp_incidence
+from repro.net.cycle_cache import RoutingWarmStore
 from repro.net.simulator import ClusterView, TransferDirective
 from repro.net.topology import ResourceKey
 from repro.overlay.blocks import Block
@@ -35,16 +39,31 @@ from repro.utils.validation import check_positive
 BlockId = Tuple[str, int]
 GroupKey = Tuple[str, str, Tuple[str, ...]]  # (job, dst_server, sources)
 
+#: (iterations, phases, warm_start) triple the solver backends report;
+#: greedy/lp have no iteration structure so they report the zero triple.
+SolverStats = Tuple[int, int, str]
+_NO_SOLVER_STATS: SolverStats = (0, 0, "")
+
 
 @dataclass
 class RoutingDiagnostics:
-    """Routing-step telemetry for the scalability figures (11a, 13a)."""
+    """Routing-step telemetry for the scalability figures (11a, 13a).
+
+    ``iterations``/``phases``/``warm_start`` describe the FPTAS solve
+    (zero/empty for the greedy and LP backends): flow-push count, Fleischer
+    phase count, and how the solve started — ``"cold"``, ``"warm"``,
+    ``"reuse"``, or ``"cold-fallback"`` (see
+    :class:`repro.lp.fptas.FPTASResult`).
+    """
 
     backend: str
     num_selections: int
     num_commodities: int
     objective: float  # total allocated bytes/second
     runtime: float
+    iterations: int = 0
+    phases: int = 0
+    warm_start: str = ""
 
 
 class BDSRouter:
@@ -65,6 +84,10 @@ class BDSRouter:
         self.epsilon = epsilon
         self.max_sources_per_group = max_sources_per_group
         self.merge_blocks = merge_blocks
+        # Cross-cycle FPTAS warm-start state. Owned by the router (not the
+        # per-cycle CycleCache) so it survives speculation overlays, which
+        # rebuild their caches every cycle.
+        self._warm = RoutingWarmStore()
 
     # -- public API -------------------------------------------------------
 
@@ -93,7 +116,7 @@ class BDSRouter:
                 runtime=_time.perf_counter() - started,
             )
 
-        rates = self._solve(commodities, view.bulk_capacities)
+        rates, solver = self._solve(view, commodities, view.bulk_capacities)
         directives = self._to_directives(view, commodities, group_blocks, rates)
         objective = sum(rates.values())
         return directives, RoutingDiagnostics(
@@ -102,6 +125,9 @@ class BDSRouter:
             num_commodities=len(commodities),
             objective=objective,
             runtime=_time.perf_counter() - started,
+            iterations=solver[0],
+            phases=solver[1],
+            warm_start=solver[2],
         )
 
     # -- step 1 & 2: source candidates and merging -------------------------------
@@ -207,24 +233,54 @@ class BDSRouter:
 
     def _solve(
         self,
+        view: ClusterView,
         commodities: List[Commodity],
         capacities: Mapping[ResourceKey, float],
-    ) -> Dict[Tuple[GroupKey, int], float]:
-        """Dispatch to the configured backend; returns per-path rates."""
+    ) -> Tuple[Dict[Tuple[GroupKey, int], float], SolverStats]:
+        """Dispatch to the configured backend; returns per-path rates.
+
+        All three backends solve over one shared
+        :class:`~repro.lp.incidence.PathIncidence` compiled here. Lenient
+        mode reproduces the historical greedy semantics: a resource missing
+        from the capacity map counts as zero capacity, which simply makes
+        the paths crossing it unusable (e.g. a link that failed between
+        grouping and routing).
+        """
+        incidence = PathIncidence.build(commodities, capacities, strict=False)
         if self.backend == "greedy":
-            return self._solve_greedy(commodities, capacities)
-        problem = PathMCF(commodities, capacities)
-        if self.backend == "fptas":
-            result = problem.solve_fptas(epsilon=self.epsilon)
-        else:
-            result = problem.solve_lp()
-        return dict(result.path_flows)
+            rates = self._solve_greedy(commodities, capacities, incidence=incidence)
+            return rates, _NO_SOLVER_STATS
+        if self.backend == "lp":
+            result = solve_lp_incidence(incidence)
+            return dict(result.path_flows), _NO_SOLVER_STATS
+        # FPTAS with cross-cycle warm start: offer last cycle's solver
+        # state while (topology epoch, failure set) is unchanged. The
+        # solver re-verifies capacities/ε itself and certifies the warm
+        # solve against its dual bound, so this can only help, never hurt.
+        warm = self._warm.validate(view.topology.epoch, view.failed_links)
+        result = max_multicommodity_flow(
+            commodities,
+            capacities,
+            epsilon=self.epsilon,
+            warm=warm,
+            incidence=incidence,
+        )
+        if result.warm_state is not None:
+            self._warm.store(
+                view.topology.epoch, view.failed_links, result.warm_state
+            )
+        return dict(result.path_flows), (
+            result.iterations,
+            result.phases,
+            result.warm_start,
+        )
 
     @staticmethod
     def _solve_greedy(
         commodities: List[Commodity],
         capacities: Mapping[ResourceKey, float],
         fair_rounds: int = 3,
+        incidence: Optional[PathIncidence] = None,
     ) -> Dict[Tuple[GroupKey, int], float]:
         """Round-robin water-filling in commodity order (rarity order).
 
@@ -237,35 +293,69 @@ class BDSRouter:
            an approximation of max-min sharing;
         2. a final pass in rarity order that hands out whatever is left.
 
-        O(rounds × commodities × paths × path length); this is the
-        real-time default, trading the FPTAS's provable bound for speed.
+        The per-path residual room (a min over the path's resources) is
+        the inner-loop cost. It is precomputed from the shared incidence
+        arrays into per-commodity *(original path index, resource index
+        list)* pairs over a dense residual vector — unusable paths are
+        pre-dropped, only touched resources are materialized (no full
+        capacity-map copy per solve), and the min runs over plain integer
+        indices. Router commodities have at most ``max_sources_per_group``
+        short paths, so these tiny reductions stay in pure Python — a
+        vectorized ``reduceat`` per commodity measures ~2× *slower* at
+        this shape (per-call overhead dominates 9-element segments). The
+        result is bit-identical to the historical dict-walking loop: min
+        is exact over the same floats, ties break on the first maximum
+        (lowest path index), and residual updates subtract once per
+        resource *occurrence*.
         """
-        residual: Dict[ResourceKey, float] = dict(capacities)
+        inc = incidence
+        if inc is None:
+            inc = PathIncidence.build(commodities, capacities, strict=False)
+        residual: List[float] = inc.caps.tolist()
         rates: Dict[Tuple[GroupKey, int], float] = {}
         remaining: Dict[int, float] = {
             i: (c.demand if c.demand is not None else float("inf"))
             for i, c in enumerate(commodities)
         }
 
+        # Per-commodity usable paths as (orig path index, resource index
+        # list) pairs, unpacked from the incidence arrays once.
+        starts = inc.path_starts.tolist()
+        lens = inc.path_lens.tolist()
+        flat = inc.flat_res.tolist()
+        orig = inc.path_orig_index.tolist()
+        paths_of: List[List[Tuple[int, List[int]]]] = []
+        for ci in range(inc.num_commodities):
+            lo, hi = inc.commodity_path_range[ci]
+            paths_of.append(
+                [
+                    (orig[p], flat[starts[p] : starts[p] + lens[p]])
+                    for p in range(lo, hi)
+                ]
+            )
+
         def push_flow(index: int, limit_fraction: float) -> None:
-            commodity = commodities[index]
+            plist = paths_of[index]
+            if not plist:
+                return
             demand = remaining[index]
             while demand > 1e-9:
-                best_pi, best_room = -1, 0.0
-                for pi, path in enumerate(commodity.paths):
-                    room = min(residual.get(r, 0.0) for r in path)
+                best_pi, best_room, best_idxs = -1, 0.0, None
+                for pi, idxs in plist:
+                    room = min(residual[i] for i in idxs)
                     if room > best_room:
                         best_room = room
                         best_pi = pi
+                        best_idxs = idxs
                 if best_pi < 0 or best_room <= 1e-9:
                     break
                 push = min(demand, best_room * limit_fraction)
                 if push <= 1e-9:
                     break
-                key = (commodity.name, best_pi)
+                key = (commodities[index].name, best_pi)
                 rates[key] = rates.get(key, 0.0) + push
-                for res in commodity.paths[best_pi]:
-                    residual[res] = residual.get(res, 0.0) - push
+                for i in best_idxs:
+                    residual[i] -= push
                 demand -= push
                 if limit_fraction < 1.0:
                     break  # one quantum per fair-round visit
@@ -298,8 +388,6 @@ class BDSRouter:
         Blocks are dealt to sources in proportion to each source's share of
         the group's total rate, preserving rarity order within the group.
         """
-        import zlib
-
         directives: List[TransferDirective] = []
         for commodity in commodities:
             key: GroupKey = commodity.name  # type: ignore[assignment]

@@ -13,7 +13,7 @@ selected deliveries become LP commodities.
 from __future__ import annotations
 
 import time as _time
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.core.decisions import ScheduledBlock
 from repro.net.simulator import ClusterView

@@ -1,0 +1,186 @@
+"""Reference Garg–Könemann FPTAS (the pre-Fleischer scalar loop).
+
+This is the original implementation of :func:`max_multicommodity_flow`,
+kept verbatim as the correctness yardstick and benchmark baseline for the
+vectorized Fleischer rewrite in :mod:`repro.lp.fptas`. Its oracle rescans
+every commodity×path per iteration in pure Python, which is exactly the
+cost the rewrite amortizes away — ``benchmarks/bench_routing_solver.py``
+measures the two against each other, and the parity tests assert their
+objectives agree within the ε-approximation tolerance.
+
+Two bug fixes are applied relative to the historical version (both also
+covered by tests against the rewrite):
+
+* duplicate candidate paths no longer alias onto the first occurrence's
+  index — the stripped-path→index mapping is positional, not value-based
+  (``list.index`` returned the first match for every duplicate, silently
+  merging their flows);
+* the dead ``worst = 1.0`` store in the re-clip pass is gone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.lp.fptas import FPTASResult
+from repro.lp.mcf import Commodity
+from repro.net.topology import ResourceKey
+from repro.utils.validation import check_positive
+
+
+def legacy_max_multicommodity_flow(
+    commodities: Sequence[Commodity],
+    capacities: Mapping[ResourceKey, float],
+    epsilon: float = 0.1,
+    max_iterations: Optional[int] = None,
+) -> FPTASResult:
+    """ε-approximate max total multicommodity flow, scalar-loop variant.
+
+    Runs Garg–Könemann with a global lightest-path argmin per iteration:
+    every resource carries a length that grows exponentially with its
+    congestion; each iteration routes along the currently *lightest* path
+    and inflates the lengths of the resources it used. After termination
+    the accumulated flow is scaled by ``log_{1+ε}(1/δ)`` to restore
+    feasibility, then numerically re-clipped.
+    """
+    check_positive("epsilon", epsilon)
+    if epsilon >= 1:
+        raise ValueError("epsilon must be < 1")
+    if not commodities:
+        raise ValueError("need at least one commodity")
+
+    # Build the working capacity map with virtual demand resources.
+    caps: Dict[ResourceKey, float] = dict(capacities)
+    # Normalize so the smallest positive capacity is 1: Garg-Konemann's
+    # initial length delta/c(e) must stay below 1 on every usable edge, and
+    # raw byte units mix 1e-6-byte demand remainders with 1e9-byte/s links.
+    positive = [c for c in caps.values() if c > 0]
+    demands_positive = [
+        c.demand for c in commodities if c.demand is not None and c.demand > 0
+    ]
+    cap_scale = min(positive + demands_positive) if (positive or demands_positive) else 1.0
+    if cap_scale <= 0:
+        cap_scale = 1.0
+    caps = {k: v / cap_scale for k, v in caps.items()}
+    commodities = [
+        Commodity(
+            name=c.name,
+            paths=c.paths,
+            demand=None if c.demand is None else c.demand / cap_scale,
+        )
+        for c in commodities
+    ]
+    paths: List[List[Tuple[ResourceKey, ...]]] = []
+    for ci, commodity in enumerate(commodities):
+        extended: List[Tuple[ResourceKey, ...]] = []
+        if commodity.demand is not None:
+            virtual: ResourceKey = ("demand", str(ci))
+            caps[virtual] = commodity.demand
+            for path in commodity.paths:
+                extended.append(tuple(path) + (virtual,))
+        else:
+            extended = [tuple(p) for p in commodity.paths]
+        paths.append(extended)
+
+    # Commodities with zero demand or a zero-capacity resource on all paths
+    # can never carry flow; drop their paths to avoid division by zero.
+    # Unlike the historical version the original index of each kept path is
+    # recorded positionally, so duplicate candidate paths stay distinct.
+    usable: List[List[Tuple[ResourceKey, ...]]] = []
+    usable_orig: List[List[int]] = []
+    for plist in paths:
+        good: List[Tuple[ResourceKey, ...]] = []
+        good_orig: List[int] = []
+        for pi, p in enumerate(plist):
+            if all(caps[r] > 0 for r in p):
+                good.append(p)
+                good_orig.append(pi)
+        usable.append(good)
+        usable_orig.append(good_orig)
+    if not any(usable):
+        return FPTASResult(
+            objective=0.0, path_flows={}, iterations=0, epsilon=epsilon
+        )
+
+    num_resources = len({r for plist in usable for p in plist for r in p})
+    delta = (1 + epsilon) * ((1 + epsilon) * num_resources) ** (-1.0 / epsilon)
+    length: Dict[ResourceKey, float] = {
+        res: delta / caps[res]
+        for plist in usable
+        for p in plist
+        for res in p
+    }
+
+    raw_flow: Dict[Tuple[int, int], float] = {}
+    iterations = 0
+    limit = max_iterations or int(
+        10 * num_resources * math.log(num_resources + 2) / (epsilon**2) + 1000
+    )
+
+    while iterations < limit:
+        # Oracle: lightest path across all commodities.
+        best: Optional[Tuple[int, int]] = None
+        best_len = math.inf
+        for ci, plist in enumerate(usable):
+            for pi, path in enumerate(plist):
+                plen = sum(length[r] for r in path)
+                if plen < best_len:
+                    best_len = plen
+                    best = (ci, pi)
+        if best is None or best_len >= 1.0:
+            break
+        ci, pi = best
+        path = usable[ci][pi]
+        bottleneck = min(caps[r] for r in path)
+        raw_flow[(ci, pi)] = raw_flow.get((ci, pi), 0.0) + bottleneck
+        for res in path:
+            length[res] *= 1.0 + epsilon * bottleneck / caps[res]
+        iterations += 1
+
+    if not raw_flow:
+        return FPTASResult(
+            objective=0.0, path_flows={}, iterations=iterations, epsilon=epsilon
+        )
+
+    # Scale to feasibility: Garg–Könemann's flow violates each capacity by at
+    # most log_{1+eps}(1/delta).
+    scale = math.log((1 + epsilon) / delta) / math.log(1 + epsilon)
+    flows: Dict[Tuple[int, int], float] = {
+        key: value / scale for key, value in raw_flow.items()
+    }
+
+    # Numerical re-clip: uniform scale per oversubscribed resource.
+    usage: Dict[ResourceKey, float] = {}
+    for (ci, pi), rate in flows.items():
+        for res in usable[ci][pi]:
+            usage[res] = usage.get(res, 0.0) + rate
+    shrink: Dict[ResourceKey, float] = {}
+    for res, used in usage.items():
+        if used > caps[res] > 0:
+            shrink[res] = caps[res] / used
+    if shrink:
+        for key in list(flows):
+            ci, pi = key
+            factor = min(
+                (shrink.get(res, 1.0) for res in usable[ci][pi]), default=1.0
+            )
+            flows[key] *= factor
+
+    # Translate internal (ci, pi-over-usable) indices back to the caller's
+    # (commodity name, original path index).
+    path_flows: Dict[Tuple[Hashable, int], float] = {}
+    for ci, plist in enumerate(usable):
+        for pi, _path in enumerate(plist):
+            rate = flows.get((ci, pi), 0.0)
+            if rate > 1e-12:
+                key = (commodities[ci].name, usable_orig[ci][pi])
+                path_flows[key] = path_flows.get(key, 0.0) + rate * cap_scale
+
+    objective = sum(path_flows.values())
+    return FPTASResult(
+        objective=objective,
+        path_flows=path_flows,
+        iterations=iterations,
+        epsilon=epsilon,
+    )

@@ -13,10 +13,10 @@ bytes/second the group can still usefully absorb this cycle).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.lp.model import LinearProgram, LPError
+from repro.lp.model import LinearProgram
 from repro.net.topology import ResourceKey
 
 
@@ -77,6 +77,10 @@ class PathMCF:
     Objective (paper Eq. 5): maximize total flow. Constraints: per-resource
     capacity (Eq. 1 & 2 collapsed onto the resource set of each path) and
     per-commodity demand (the per-cycle volume bound of Eq. 3).
+
+    On construction the instance is compiled once into a
+    :class:`~repro.lp.incidence.PathIncidence`; the exact LP and the
+    FPTAS both solve over those shared arrays.
     """
 
     def __init__(
@@ -95,48 +99,78 @@ class PathMCF:
                         raise KeyError(
                             f"path of {commodity.name!r} uses unknown resource {res!r}"
                         )
+        from repro.lp.incidence import PathIncidence
+
+        self.incidence = PathIncidence.build(
+            self.commodities, self.capacities, strict=True
+        )
 
     def solve_lp(self) -> MCFResult:
         """Exact solution via the dense LP (the Fig. 13a 'standard' route)."""
-        lp = LinearProgram(maximize=True)
-        var_names: Dict[Tuple[int, int], str] = {}
-        for ci, commodity in enumerate(self.commodities):
-            for pi in range(len(commodity.paths)):
-                name = f"f_{ci}_{pi}"
-                var_names[(ci, pi)] = name
-                lp.add_variable(name, lower=0.0, objective=1.0)
+        return solve_lp_incidence(self.incidence)
 
-        # Per-resource capacity constraints.
-        by_resource: Dict[ResourceKey, Dict[str, float]] = {}
-        for ci, commodity in enumerate(self.commodities):
-            for pi, path in enumerate(commodity.paths):
-                for res in set(path):
-                    by_resource.setdefault(res, {})[var_names[(ci, pi)]] = 1.0
-        for res, coeffs in by_resource.items():
-            lp.add_constraint(coeffs, "<=", self.capacities[res])
+    def solve_fptas(self, epsilon: float = 0.1, warm=None) -> MCFResult:
+        """ε-approximate solution via Fleischer's FPTAS (the BDS fast path).
 
-        # Per-commodity demand caps.
-        for ci, commodity in enumerate(self.commodities):
-            if commodity.demand is None:
-                continue
-            coeffs = {
-                var_names[(ci, pi)]: 1.0 for pi in range(len(commodity.paths))
-            }
-            lp.add_constraint(coeffs, "<=", commodity.demand)
-
-        solution = lp.solve()
-        flows: Dict[Tuple[Hashable, int], float] = {}
-        for (ci, pi), name in var_names.items():
-            rate = solution.values[name]
-            if rate > 1e-12:
-                flows[(self.commodities[ci].name, pi)] = rate
-        return MCFResult(objective=solution.objective, path_flows=flows)
-
-    def solve_fptas(self, epsilon: float = 0.1) -> MCFResult:
-        """ε-approximate solution via Garg–Könemann (the BDS fast path)."""
+        ``warm`` forwards a previous solve's
+        :class:`~repro.lp.fptas.FPTASWarmState`; see
+        :func:`~repro.lp.fptas.max_multicommodity_flow`.
+        """
         from repro.lp.fptas import max_multicommodity_flow
 
         result = max_multicommodity_flow(
-            self.commodities, self.capacities, epsilon=epsilon
+            self.commodities,
+            self.capacities,
+            epsilon=epsilon,
+            warm=warm,
+            incidence=self.incidence,
         )
         return MCFResult(objective=result.objective, path_flows=result.path_flows)
+
+
+def solve_lp_incidence(incidence) -> MCFResult:
+    """Exact max-MCF over a pre-built incidence structure.
+
+    Builds one variable per *usable* path (paths through zero-capacity
+    resources and zero-demand commodities can never carry flow, so their
+    variables are elided — the optimum is unchanged), one capacity row per
+    resource, and one demand row per capped commodity.
+    """
+    inc = incidence
+    if inc.num_paths == 0:
+        return MCFResult(objective=0.0, path_flows={})
+    lp = LinearProgram(maximize=True)
+    var_names: List[str] = []
+    for pid in range(inc.num_paths):
+        ci = int(inc.path_commodity[pid])
+        name = f"f_{ci}_{int(inc.path_orig_index[pid])}"
+        var_names.append(name)
+        lp.add_variable(name, lower=0.0, objective=1.0)
+
+    # Per-resource capacity constraints, in resource interning order.
+    by_resource: Dict[int, Dict[str, float]] = {}
+    for pid in range(inc.num_paths):
+        for ri in set(inc.path_resources(pid).tolist()):
+            by_resource.setdefault(ri, {})[var_names[pid]] = 1.0
+    for ri in sorted(by_resource):
+        lp.add_constraint(by_resource[ri], "<=", float(inc.caps[ri]))
+
+    # Per-commodity demand caps over the commodity's usable paths.
+    for ci in range(inc.num_commodities):
+        demand = inc.demands[ci]
+        lo, hi = inc.commodity_path_range[ci]
+        if not (demand < float("inf")) or lo == hi:
+            continue
+        lp.add_constraint(
+            {var_names[pid]: 1.0 for pid in range(lo, hi)}, "<=", float(demand)
+        )
+
+    solution = lp.solve()
+    flows: Dict[Tuple[Hashable, int], float] = {}
+    for pid, name in enumerate(var_names):
+        rate = solution.values[name]
+        if rate > 1e-12:
+            ci = int(inc.path_commodity[pid])
+            key = (inc.commodities[ci].name, int(inc.path_orig_index[pid]))
+            flows[key] = flows.get(key, 0.0) + rate
+    return MCFResult(objective=solution.objective, path_flows=flows)

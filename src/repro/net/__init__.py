@@ -61,6 +61,9 @@ __all__ = [
     "delay_inflation",
     "FailureEvent",
     "FailureSchedule",
+    "baidu_like",
+    "dumbbell",
+    "global_regions",
     "ClusterView",
     "SimConfig",
     "SimResult",

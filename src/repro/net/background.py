@@ -10,7 +10,7 @@ safety threshold, online traffic suffers queueing delay inflation — the
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.net.topology import ResourceKey
 from repro.utils.rng import SeedLike, make_rng

@@ -98,3 +98,49 @@ class CycleCache:
             "misses": self.misses,
             "flushes": self.flushes,
         }
+
+
+class RoutingWarmStore:
+    """Epoch-guarded holder for the router's FPTAS warm-start state.
+
+    Same validity discipline as the path memo above: the carried solver
+    state (final resource lengths + raw path flows of the previous
+    cycle's solve — see :class:`repro.lp.fptas.FPTASWarmState`) is only
+    offered back to the solver while ``(topology.epoch, failed_links)``
+    is unchanged. A topology edit or failure-set change alters the
+    resource universe, so the next solve must start cold.
+
+    The guard here is intentionally coarse; the solver independently
+    re-verifies the fine-grained compatibility conditions (ε, resource
+    interning order, per-resource capacities) and certifies every warm
+    solve against its own dual bound, so a stale store can degrade a
+    solve to cold but never corrupt it. The store is owned by the
+    :class:`~repro.core.routing.BDSRouter` — not by :class:`CycleCache`
+    instances — because speculation overlays build *fresh* caches per
+    cycle while warm starts must survive across cycles.
+    """
+
+    __slots__ = ("_key", "state", "invalidations", "stores")
+
+    def __init__(self) -> None:
+        self._key: Optional[PathKey] = None
+        self.state = None
+        # Telemetry: how often topology/failure churn dropped the state.
+        self.invalidations: int = 0
+        self.stores: int = 0
+
+    def validate(self, topology_epoch: int, failed_links: FrozenSet):
+        """Return the carried state, or ``None`` if the guard key moved."""
+        key = (topology_epoch, failed_links)
+        if key != self._key:
+            self._key = key
+            if self.state is not None:
+                self.state = None
+                self.invalidations += 1
+        return self.state
+
+    def store(self, topology_epoch: int, failed_links: FrozenSet, state) -> None:
+        """Record the state a just-finished solve produced under ``key``."""
+        self._key = (topology_epoch, failed_links)
+        self.state = state
+        self.stores += 1

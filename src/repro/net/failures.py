@@ -10,8 +10,8 @@ decentralized fallback).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set, Tuple
 
 VALID_KINDS = {
     "agent_fail",

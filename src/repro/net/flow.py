@@ -13,7 +13,7 @@ Two allocation regimes are needed by the reproduction:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.net.topology import ResourceKey

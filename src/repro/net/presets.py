@@ -17,10 +17,10 @@ as a quick test (small scale) or a longer evaluation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.net.topology import Topology
-from repro.utils.units import GB, MBps
+from repro.utils.units import MBps
 from repro.utils.validation import check_positive
 
 # (metro cluster) -> DC names; clusters are fully meshed internally.

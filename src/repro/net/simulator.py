@@ -139,6 +139,12 @@ class CycleStats:
     time_route: float = 0.0
     time_rate_resolve: float = 0.0
     time_deliver: float = 0.0
+    # Routing-solver telemetry, forwarded from the strategy's decision
+    # record when it reports one (the FPTAS backend; zero/empty for
+    # greedy/LP and for decentralized baselines).
+    routing_iterations: int = 0
+    routing_phases: int = 0
+    routing_warm_start: str = ""
 
 
 @dataclass
@@ -972,12 +978,22 @@ class Simulation:
 
             time_schedule = decide_runtime
             time_route = 0.0
+            routing_iterations = 0
+            routing_phases = 0
+            routing_warm_start = ""
             last_decision = getattr(self.strategy, "last_decision", None)
             if callable(last_decision):
                 decision = last_decision()
                 if decision is not None and decision.cycle == cycle:
                     time_schedule = decision.schedule_runtime
                     time_route = decision.routing_runtime
+                    routing_iterations = getattr(
+                        decision, "routing_iterations", 0
+                    )
+                    routing_phases = getattr(decision, "routing_phases", 0)
+                    routing_warm_start = getattr(
+                        decision, "routing_warm_start", ""
+                    )
             stats = CycleStats(
                 cycle=cycle,
                 time=now,
@@ -991,6 +1007,9 @@ class Simulation:
                 time_route=time_route,
                 time_rate_resolve=time_rate_resolve,
                 time_deliver=_time.perf_counter() - deliver_started,
+                routing_iterations=routing_iterations,
+                routing_phases=routing_phases,
+                routing_warm_start=routing_warm_start,
             )
             if cfg.record_link_stats:
                 usage: Dict[ResourceKey, float] = {}

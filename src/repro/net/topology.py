@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.validation import check_positive
@@ -210,7 +210,9 @@ class Topology:
         """
         routes: Dict[Tuple[str, str], Tuple[ResourceKey, ...]] = {}
         adjacency: Dict[str, List[Link]] = {name: [] for name in self.dcs}
-        max_cap = max((l.capacity for l in self.links.values()), default=1.0)
+        max_cap = max(
+            (lnk.capacity for lnk in self.links.values()), default=1.0
+        )
         for link in self.links.values():
             if (link.src_dc, link.dst_dc) in excluded:
                 continue

@@ -11,8 +11,8 @@ failure schedule toggles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Set, Tuple
 
 from repro.net.topology import Server
 

@@ -10,7 +10,7 @@ file splitting, and the block-merging helper used by the controller's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.utils.units import MB
 from repro.utils.validation import check_positive

@@ -16,8 +16,8 @@ DCs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.overlay.blocks import Block, DEFAULT_BLOCK_SIZE, split_into_blocks
 from repro.net.topology import Topology

@@ -15,7 +15,7 @@ in over 80 % of cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.net.latency import LatencyModel
 from repro.overlay.agent import AgentSnapshot, ServerAgent

@@ -7,7 +7,7 @@ decentralized baselines, latency model, failure injection) takes an explicit
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -20,8 +20,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.utils.rng import SeedLike, make_rng
 from repro.utils.units import GB, TB
@@ -95,7 +94,11 @@ class PiecewiseLinearCDF:
             x = x1
         else:
             x = x0 + (x1 - x0) * (probability - p0) / (p1 - p0)
-        return 10**x if self.log_space else x
+        value = 10**x if self.log_space else x
+        # The interpolation (and the 10**x round-trip in log space) can
+        # overshoot the segment end by an ulp at probability == p1; a
+        # quantile must stay within the knot domain.
+        return min(max(value, self._raw_xs[0]), self._raw_xs[-1])
 
     def sample(self, seed: SeedLike = None) -> float:
         """One inverse-transform sample."""

@@ -18,8 +18,8 @@ in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.net.topology import Topology
 from repro.overlay.blocks import DEFAULT_BLOCK_SIZE

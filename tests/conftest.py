@@ -8,7 +8,7 @@ from repro.core import BDSController
 from repro.net.simulator import SimConfig, Simulation
 from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB, MBps
 
 
 @pytest.fixture

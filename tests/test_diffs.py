@@ -3,12 +3,7 @@
 import pytest
 
 from repro.core import BDSController
-from repro.core.diffs import (
-    DecisionDiff,
-    DiffStats,
-    diff_decisions,
-    diff_stats_over_run,
-)
+from repro.core.diffs import DiffStats, diff_decisions, diff_stats_over_run
 from repro.net.simulator import SimConfig, Simulation, TransferDirective
 from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob

@@ -1,6 +1,5 @@
 """Edge cases across modules that the mainline tests don't reach."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,6 @@ qualitative claims with smaller parameters so ``pytest tests/`` exercises
 every experiment code path quickly.
 """
 
-import pytest
 
 from repro.analysis.experiments import (
     exp_fig3_illustrative,
@@ -17,7 +16,7 @@ from repro.analysis.experiments import (
     exp_fig13b_near_optimality,
     exp_table3_overlay_comparison,
 )
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB
 
 
 class TestFig3:

@@ -1,6 +1,5 @@
 """End-to-end integration tests across the full stack."""
 
-import pytest
 
 from repro.analysis.runner import run_simulation
 from repro.baselines.ideal import ideal_completion_time
@@ -10,7 +9,7 @@ from repro.net.failures import FailureEvent, FailureSchedule
 from repro.net.simulator import SimConfig, Simulation
 from repro.net.topology import Topology, wan_key
 from repro.overlay.job import MulticastJob
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB, MBps
 from repro.workload.generator import WorkloadGenerator, to_jobs
 
 

@@ -6,7 +6,7 @@ from repro.analysis.runner import make_strategy
 from repro.net.simulator import SimConfig, Simulation
 from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB, MBps
 
 
 def multi_job_setup():

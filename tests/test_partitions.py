@@ -7,7 +7,7 @@ from repro.net.failures import FailureEvent, FailureSchedule
 from repro.net.simulator import SimConfig, Simulation
 from repro.net.topology import Topology, wan_key
 from repro.overlay.job import MulticastJob
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB, MBps
 
 
 def triangle(thin_direct=False):

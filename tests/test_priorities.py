@@ -1,6 +1,5 @@
 """Job priorities: urgent replications beat background syncs."""
 
-import pytest
 
 from repro.core import BDSController
 from repro.core.scheduling import RarestFirstScheduler

@@ -1,6 +1,5 @@
 """System-level property tests: invariants over randomized scenarios."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -11,7 +10,7 @@ from repro.net.flow import Flow, resource_utilization
 from repro.net.simulator import SimConfig, Simulation
 from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB, MBps
 
 
 @st.composite

@@ -1,6 +1,5 @@
 """Relay-DC support: Type I overlay paths through non-destination DCs."""
 
-import pytest
 
 from repro.core import BDSConfig, BDSController
 from repro.core.scheduling import RarestFirstScheduler

@@ -1,6 +1,5 @@
 """ControllerReplicaSet and AgentMonitor wired into the simulation."""
 
-import pytest
 
 from repro.core import BDSController, ControllerReplicaSet
 from repro.net.failures import FailureEvent, FailureSchedule

@@ -140,3 +140,50 @@ class TestRoutingBehavior:
         _, diag = BDSRouter().route(view, selections)
         assert diag.runtime > 0
         assert diag.num_selections == len(selections)
+
+
+class TestWarmStartIntegration:
+    def test_fptas_diagnostics_and_reuse(self):
+        sim = make_sim()
+        view = sim.snapshot_view()
+        selections = RarestFirstScheduler().select(view)
+        router = BDSRouter(backend="fptas")
+        directives, diag = router.route(view, selections)
+        assert diag.warm_start == "cold"
+        assert diag.iterations > 0
+        assert diag.phases > 0
+        # Same view, same selections: the solver recognizes the identical
+        # instance and returns the cached solution verbatim.
+        directives2, diag2 = router.route(view, selections)
+        assert diag2.warm_start == "reuse"
+        assert diag2.iterations == 0
+        assert diag2.objective == diag.objective
+        assert [(d.src_server, d.dst_server, d.rate_cap) for d in directives] == [
+            (d.src_server, d.dst_server, d.rate_cap) for d in directives2
+        ]
+
+    def test_cold_router_matches_warm_router_bit_for_bit(self):
+        sim = make_sim()
+        view = sim.snapshot_view()
+        selections = RarestFirstScheduler().select(view)
+        warm_router = BDSRouter(backend="fptas")
+        warm_router.route(view, selections)  # prime the warm store
+        warm_directives, _ = warm_router.route(view, selections)
+        cold_directives, _ = BDSRouter(backend="fptas").route(view, selections)
+        assert [
+            (d.src_server, d.dst_server, d.block_ids, d.rate_cap)
+            for d in warm_directives
+        ] == [
+            (d.src_server, d.dst_server, d.block_ids, d.rate_cap)
+            for d in cold_directives
+        ]
+
+    def test_greedy_and_lp_report_no_solver_telemetry(self):
+        sim = make_sim()
+        view = sim.snapshot_view()
+        selections = RarestFirstScheduler().select(view)
+        for backend in ("greedy", "lp"):
+            _, diag = BDSRouter(backend=backend).route(view, selections)
+            assert diag.iterations == 0
+            assert diag.phases == 0
+            assert diag.warm_start == ""

@@ -18,7 +18,6 @@ from repro.analysis.runner import (
     run_simulation,
 )
 from repro.baselines import GingkoStrategy
-from repro.core import BDSController
 from repro.core.formulation import StandardLPRouter
 from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob

@@ -5,7 +5,7 @@ import pytest
 from repro.analysis.sweeps import SweepPoint, SweepResult, compare_sweeps, sweep
 from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob
-from repro.utils.units import GB, MB, MBps
+from repro.utils.units import MB, MBps
 
 
 def wan_scenario(wan_capacity: float):

@@ -1,6 +1,5 @@
 """Unit handling: parsing, formatting, constants."""
 
-import math
 
 import pytest
 
