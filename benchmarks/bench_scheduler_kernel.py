@@ -1,0 +1,202 @@
+"""Scheduler-kernel A/B — array-native control plane vs the scalar path.
+
+Times the same steady-state simulation twice, once with
+``SimConfig.vectorized_store`` off (the dict-of-sets possession index and
+the per-candidate Python loops, kept in-tree as the baseline) and once
+with it on (the packed bitset possession matrix, the candidate-array
+rarest-first kernel, and the batched interned-id router build), at the
+largest Fig. 11a scale (~10^5 (block, destination) pairs of controller
+state). Both arms run the incremental cycle-state engine; the comparison
+isolates the array-native plane. Selections must be bit-identical in
+content *and order*, so the two runs must produce identical completion
+metrics, per-cycle delivery counts, and run fingerprints.
+
+The full-scale run also demonstrates the ΔT budget: one cold controller
+decision over ~10^6 pending (block, destination) pairs with the Eq. 3
+per-cycle selection cap must fit the paper's 3 s update interval.
+
+Run as a script to emit ``BENCH_scheduler.json``::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_kernel.py [--quick]
+
+or through pytest like the other benchmarks (quick scale).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import SchedulerKernelResult, exp_scheduler_kernel
+from repro.analysis.reporting import format_table
+
+FULL_BLOCKS = 33_334  # x3 destination DCs ~= the 10^5 Fig. 11a point
+QUICK_BLOCKS = 3_334
+BUDGET_BLOCKS = 333_334  # x3 destination DCs ~= 10^6 pending pairs
+QUICK_BUDGET_BLOCKS = 10_000
+BUDGET_CAP = 20_000  # Eq. 3-style per-cycle selection cap
+
+RESULT_FORMAT_VERSION = 1
+
+SCHEDULE_SPEEDUP_FLOOR = 5.0
+DECIDE_SPEEDUP_FLOOR = 2.0
+BUDGET_DT_SECONDS = 3.0
+
+
+def result_payload(result: SchedulerKernelResult, quick: bool) -> dict:
+    """Flatten a :class:`SchedulerKernelResult` for ``BENCH_scheduler.json``."""
+    return {
+        "format_version": RESULT_FORMAT_VERSION,
+        "quick": quick,
+        "state_pairs": result.state_pairs,
+        "cycles": result.cycles,
+        "steady_state_run": {
+            "scalar_wall_s": result.run_scalar_s,
+            "vectorized_wall_s": result.run_vectorized_s,
+            "speedup": result.run_speedup,
+            "scalar_stage_totals_s": result.scalar_stage_totals,
+            "vectorized_stage_totals_s": result.vectorized_stage_totals,
+        },
+        "schedule_stage": {
+            "scalar_s": result.schedule_scalar_s,
+            "vectorized_s": result.schedule_vectorized_s,
+            "speedup": result.schedule_speedup,
+        },
+        "decide_stage": {
+            "scalar_s": result.decide_scalar_s,
+            "vectorized_s": result.decide_vectorized_s,
+            "speedup": result.decide_speedup,
+        },
+        "cold_decide": {
+            "scalar_s": result.cold_decide_scalar_s,
+            "vectorized_s": result.cold_decide_vectorized_s,
+            "speedup": result.cold_decide_speedup,
+        },
+        "dt_budget": {
+            "pending_pairs": result.budget_pairs,
+            "selection_cap": result.budget_cap,
+            "decide_s": result.budget_decide_s,
+            "directives": result.budget_directives,
+            "within_3s_dt": result.budget_within_dt,
+        },
+        "identical_results": result.identical_results,
+    }
+
+
+def format_report(result: SchedulerKernelResult) -> str:
+    stages = sorted(result.scalar_stage_totals)
+    rows = [
+        [
+            stage,
+            f"{result.scalar_stage_totals[stage]:.3f}",
+            f"{result.vectorized_stage_totals[stage]:.3f}",
+        ]
+        for stage in stages
+    ]
+    return (
+        f"[scheduler kernel] state={result.state_pairs} (block, destination) "
+        f"pairs, {result.cycles} cycles\n"
+        f"schedule stage: scalar {result.schedule_scalar_s:.3f}s vs "
+        f"vectorized {result.schedule_vectorized_s:.3f}s "
+        f"-> {result.schedule_speedup:.2f}x\n"
+        f"decide stage:   scalar {result.decide_scalar_s:.3f}s vs "
+        f"vectorized {result.decide_vectorized_s:.3f}s "
+        f"-> {result.decide_speedup:.2f}x\n"
+        f"cold decide:    scalar {result.cold_decide_scalar_s:.3f}s vs "
+        f"vectorized {result.cold_decide_vectorized_s:.3f}s "
+        f"-> {result.cold_decide_speedup:.2f}x\n"
+        f"dt budget: {result.budget_pairs} pending pairs, cap "
+        f"{result.budget_cap} -> decide {result.budget_decide_s:.3f}s "
+        f"({result.budget_directives} directives, "
+        f"within 3s dt: {result.budget_within_dt})\n"
+        f"identical results: {result.identical_results}\n"
+        + format_table(["stage", "scalar (s)", "vectorized (s)"], rows)
+    )
+
+
+def test_scheduler_kernel(benchmark, report):
+    """Pytest entry: quick-scale A/B; selections must be bit-identical."""
+    result = benchmark.pedantic(
+        lambda: exp_scheduler_kernel(
+            num_blocks=QUICK_BLOCKS,
+            seed=0,
+            budget_blocks=QUICK_BUDGET_BLOCKS,
+            budget_cap=5_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("\n" + format_report(result))
+    assert result.identical_results
+    # The headline floors (>=5x schedule stage, >=2x decide, 10^6-pair
+    # decision within the 3 s dt) are asserted at full scale by the
+    # script / recorded in BENCH_scheduler.json; quick scale only checks
+    # bit-identical A/B and that the budget demo completes.
+    assert result.budget_within_dt
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small state for CI smoke runs (no speedup floors asserted)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_scheduler.json",
+        help="where to write the JSON result (default: ./BENCH_scheduler.json)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    num_blocks = QUICK_BLOCKS if args.quick else FULL_BLOCKS
+    budget_blocks = QUICK_BUDGET_BLOCKS if args.quick else BUDGET_BLOCKS
+    result = exp_scheduler_kernel(
+        num_blocks=num_blocks,
+        seed=args.seed,
+        budget_blocks=budget_blocks,
+        budget_cap=5_000 if args.quick else BUDGET_CAP,
+    )
+    print(format_report(result))
+
+    payload = result_payload(result, quick=args.quick)
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+
+    if not result.identical_results:
+        print("FAIL: scalar and vectorized runs diverged", file=sys.stderr)
+        return 1
+    if args.quick:
+        return 0
+    failed = False
+    if result.schedule_speedup < SCHEDULE_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: schedule-stage speedup {result.schedule_speedup:.2f}x "
+            f"below the {SCHEDULE_SPEEDUP_FLOOR:.0f}x target",
+            file=sys.stderr,
+        )
+        failed = True
+    if result.decide_speedup < DECIDE_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: decide-stage speedup {result.decide_speedup:.2f}x "
+            f"below the {DECIDE_SPEEDUP_FLOOR:.0f}x target",
+            file=sys.stderr,
+        )
+        failed = True
+    if not result.budget_within_dt:
+        print(
+            f"FAIL: 10^6-pair decision took {result.budget_decide_s:.2f}s, "
+            f"over the {BUDGET_DT_SECONDS:.0f}s dt budget",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1018,7 +1018,12 @@ class PerfHotpathsResult:
 
 
 def _hotpath_sim(
-    num_blocks: int, incremental: bool, seed: SeedLike, steady_state: bool
+    num_blocks: int,
+    incremental: bool,
+    seed: SeedLike,
+    steady_state: bool,
+    vectorized: bool = True,
+    max_blocks_per_cycle: int = 0,
 ) -> Simulation:
     """The A/B scenario: 4-DC mesh, one destination DC on a thin link.
 
@@ -1026,6 +1031,10 @@ def _hotpath_sim(
     the thin one is 95 % complete, so the run spends its cycles on a
     small trickle of remaining work while the controller's total state
     keeps its full size — the case the incremental engine targets.
+    ``vectorized`` selects the possession-store backend (see
+    ``SimConfig.vectorized_store``); ``max_blocks_per_cycle`` caps the
+    controller's per-cycle selection (the Eq. 3 work bound used by the
+    10^6-pair ΔT-budget demonstration).
     """
     dcs = [f"dc{i}" for i in range(4)]
     topo = Topology()
@@ -1056,12 +1065,19 @@ def _hotpath_sim(
                     continue  # the 5 % tail dc3 is still missing
                 server = job.assigned_server(dc, block.block_id)
                 pre_seeded.setdefault(server, []).append(block)
+    controller_config = None
+    if max_blocks_per_cycle:
+        from repro.core.config import BDSConfig
+
+        controller_config = BDSConfig(max_blocks_per_cycle=max_blocks_per_cycle)
     return Simulation(
         topology=topo,
         jobs=[job],
-        strategy=BDSController(seed=seed),
+        strategy=BDSController(config=controller_config, seed=seed),
         seed=seed,
-        config=SimConfig(incremental_engine=incremental),
+        config=SimConfig(
+            incremental_engine=incremental, vectorized_store=vectorized
+        ),
         pre_seeded=pre_seeded or None,
     )
 
@@ -1077,11 +1093,19 @@ def exp_perf_hotpaths(
     per-cycle delivery counts in both modes; ``identical_results``
     records the comparison.
     """
+    # Both arms run the dict-of-sets store + scalar scheduler: this
+    # experiment isolates the incremental cycle-state engine, and the
+    # array-native control plane (measured by exp_scheduler_kernel) must
+    # not inflate either side of the comparison.
     walls: Dict[bool, float] = {}
     results: Dict[bool, SimResult] = {}
     for incremental in (False, True):
         sim = _hotpath_sim(
-            num_blocks, incremental, seed=seed, steady_state=True
+            num_blocks,
+            incremental,
+            seed=seed,
+            steady_state=True,
+            vectorized=False,
         )
         started = _time.perf_counter()
         results[incremental] = sim.run()
@@ -1099,7 +1123,11 @@ def exp_perf_hotpaths(
     decide: Dict[bool, float] = {}
     for incremental in (False, True):
         sim = _hotpath_sim(
-            num_blocks, incremental, seed=seed, steady_state=False
+            num_blocks,
+            incremental,
+            seed=seed,
+            steady_state=False,
+            vectorized=False,
         )
         view = sim.snapshot_view()
         started = _time.perf_counter()
@@ -1119,4 +1147,153 @@ def exp_perf_hotpaths(
         incremental_stage_totals=incr.stage_time_totals(),
         cache_stats=cache_stats,
         identical_results=identical,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scheduler-kernel benchmark — array-native control plane vs the scalar path
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SchedulerKernelResult:
+    """A/B measurement of the array-native control plane.
+
+    Both arms run the incremental cycle-state engine; they differ only in
+    ``SimConfig.vectorized_store`` — the scalar arm uses the dict-of-sets
+    possession index and the per-candidate scheduler/router loops, the
+    vectorized arm the packed bitset matrix, the candidate-array kernel,
+    and the batched interned-id router build. ``schedule_*`` / ``decide_*``
+    are per-stage wall-clock totals over the steady-state run (the regime
+    where the controller ticks every ΔT over a mostly-replicated state);
+    ``cold_decide_*`` times one decision over a fully pending state.
+
+    The ``budget_*`` fields record the 10^6-pair ΔT-budget demonstration:
+    one cold controller decision over ``budget_pairs`` pending (block,
+    destination) pairs with the Eq. 3-style per-cycle selection cap
+    ``budget_cap``, which must fit the paper's 3 s update interval.
+    """
+
+    state_pairs: int
+    cycles: int
+    run_scalar_s: float
+    run_vectorized_s: float
+    run_speedup: float
+    schedule_scalar_s: float
+    schedule_vectorized_s: float
+    schedule_speedup: float
+    decide_scalar_s: float
+    decide_vectorized_s: float
+    decide_speedup: float
+    cold_decide_scalar_s: float
+    cold_decide_vectorized_s: float
+    cold_decide_speedup: float
+    scalar_stage_totals: Dict[str, float]
+    vectorized_stage_totals: Dict[str, float]
+    identical_results: bool
+    budget_pairs: int = 0
+    budget_cap: int = 0
+    budget_decide_s: float = 0.0
+    budget_directives: int = 0
+    budget_within_dt: bool = True
+
+
+def exp_scheduler_kernel(
+    num_blocks: int = 33_334,
+    seed: SeedLike = 0,
+    budget_blocks: int = 0,
+    budget_cap: int = 20_000,
+) -> SchedulerKernelResult:
+    """Time the scalar control plane against the array-native one.
+
+    The default ``num_blocks`` puts ~10^5 (block, destination) pairs in
+    the controller state (the largest Fig. 11a point). The steady-state
+    runs must produce bit-identical completion metrics, per-cycle
+    delivery counts, and byte counts in both modes (``identical_results``
+    also covers the run fingerprints). ``budget_blocks`` > 0 additionally
+    times one cold 3×``budget_blocks``-pair decision on the vectorized
+    plane with a ``budget_cap`` selection cap — the 10^6-pair ΔT-budget
+    demonstration.
+    """
+    walls: Dict[bool, float] = {}
+    results: Dict[bool, SimResult] = {}
+    for vectorized in (False, True):
+        sim = _hotpath_sim(
+            num_blocks,
+            incremental=True,
+            seed=seed,
+            steady_state=True,
+            vectorized=vectorized,
+        )
+        started = _time.perf_counter()
+        results[vectorized] = sim.run()
+        walls[vectorized] = _time.perf_counter() - started
+    scalar, vec = results[False], results[True]
+    identical = (
+        scalar.job_completion == vec.job_completion
+        and scalar.server_completion == vec.server_completion
+        and scalar.dc_completion == vec.dc_completion
+        and scalar.blocks_per_cycle() == vec.blocks_per_cycle()
+        and scalar.fingerprint() == vec.fingerprint()
+    )
+    scalar_stages = scalar.stage_time_totals()
+    vec_stages = vec.stage_time_totals()
+
+    cold: Dict[bool, float] = {}
+    for vectorized in (False, True):
+        sim = _hotpath_sim(
+            num_blocks,
+            incremental=True,
+            seed=seed,
+            steady_state=False,
+            vectorized=vectorized,
+        )
+        view = sim.snapshot_view()
+        started = _time.perf_counter()
+        sim.strategy.decide(view)
+        cold[vectorized] = _time.perf_counter() - started
+
+    budget_pairs = 0
+    budget_s = 0.0
+    budget_directives = 0
+    if budget_blocks:
+        sim = _hotpath_sim(
+            budget_blocks,
+            incremental=True,
+            seed=seed,
+            steady_state=False,
+            vectorized=True,
+            max_blocks_per_cycle=budget_cap,
+        )
+        budget_pairs = 3 * budget_blocks
+        view = sim.snapshot_view()
+        started = _time.perf_counter()
+        budget_directives = len(sim.strategy.decide(view))
+        budget_s = _time.perf_counter() - started
+
+    return SchedulerKernelResult(
+        state_pairs=3 * num_blocks,
+        cycles=vec.cycles_run,
+        run_scalar_s=walls[False],
+        run_vectorized_s=walls[True],
+        run_speedup=walls[False] / max(walls[True], 1e-9),
+        schedule_scalar_s=scalar_stages["schedule"],
+        schedule_vectorized_s=vec_stages["schedule"],
+        schedule_speedup=scalar_stages["schedule"]
+        / max(vec_stages["schedule"], 1e-9),
+        decide_scalar_s=scalar_stages["decide"],
+        decide_vectorized_s=vec_stages["decide"],
+        decide_speedup=scalar_stages["decide"]
+        / max(vec_stages["decide"], 1e-9),
+        cold_decide_scalar_s=cold[False],
+        cold_decide_vectorized_s=cold[True],
+        cold_decide_speedup=cold[False] / max(cold[True], 1e-9),
+        scalar_stage_totals=scalar_stages,
+        vectorized_stage_totals=vec_stages,
+        identical_results=identical,
+        budget_pairs=budget_pairs,
+        budget_cap=budget_cap if budget_blocks else 0,
+        budget_decide_s=budget_s,
+        budget_directives=budget_directives,
+        budget_within_dt=(budget_s <= 3.0) if budget_blocks else True,
     )

@@ -51,7 +51,11 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: sim-v2: the fptas routing backend switched to the Fleischer phase
 #: solver, which allocates (equally ε-optimal but numerically different)
 #: path rates than the old global-argmin loop.
-CACHE_CODE_VERSION = "sim-v2"
+#: sim-v3: the array-native control plane (bitset possession matrix +
+#: vectorized scheduler + batched router) became the default store. The
+#: A/B harness asserts bit-identical results, but the default-config
+#: code path changed end to end, so cached runs are re-validated once.
+CACHE_CODE_VERSION = "sim-v3"
 
 
 def _topology_payload(topology: Topology) -> Dict[str, Any]:

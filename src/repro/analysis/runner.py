@@ -85,13 +85,14 @@ def run_simulation(
     flow_setup_seconds: float = 0.0,
     stop_when_complete: bool = True,
     links_of_interest: tuple = (),
+    vectorized_store: bool = True,
 ) -> SimResult:
     """Run one strategy over the given jobs and return the result.
 
     Exposes every :class:`SimConfig` knob — including the
-    ``incremental_engine`` A/B switch and the Fig. 12c overhead model —
-    so sweeps and the parallel engine can exercise both engines without
-    hand-building a :class:`Simulation`.
+    ``incremental_engine`` / ``vectorized_store`` A/B switches and the
+    Fig. 12c overhead model — so sweeps and the parallel engine can
+    exercise both engines without hand-building a :class:`Simulation`.
     """
     strategy = make_strategy(strategy_name, seed=seed, config=config)
     sim = Simulation(
@@ -108,6 +109,7 @@ def run_simulation(
             flow_setup_seconds=flow_setup_seconds,
             stop_when_complete=stop_when_complete,
             links_of_interest=tuple(links_of_interest),
+            vectorized_store=vectorized_store,
         ),
         background=background,
         failures=failures,

@@ -114,7 +114,11 @@ class BDSController(OverlayStrategy):
                 view = SpeculatedView(view, speculated)
 
         selections = self.scheduler.select(view)
-        directives, diagnostics = self.router.route(view, selections)
+        directives, diagnostics = self.router.route(
+            view,
+            selections,
+            batch=getattr(self.scheduler, "last_batch", None),
+        )
         self.decisions.append(
             ControlDecision(
                 cycle=view.cycle,

@@ -15,6 +15,7 @@ from typing import List, Tuple
 
 from repro.net.simulator import TransferDirective
 from repro.overlay.blocks import Block
+from repro.overlay.job import MulticastJob
 
 BlockId = Tuple[str, int]
 
@@ -34,6 +35,33 @@ class ScheduledBlock:
     dst_server: str
     duplicates: int  # cluster-wide copy count when selected (rarity)
     is_relay: bool = False
+
+
+@dataclass
+class SelectionBatch:
+    """Integer companion of a scheduler selection list.
+
+    Produced by the vectorized scheduling kernel alongside its
+    :class:`ScheduledBlock` list: row ``i`` of these parallel columns
+    describes ``selections[i]`` in the possession matrix's interned id
+    space (see :class:`repro.overlay.store.PossessionMatrix`). The router
+    consumes it to build commodity groups without re-hashing string
+    server ids — group keys, source picks, and path-memo lookups all run
+    on small ints; names are materialized once per final group.
+    """
+
+    #: The view's job list; ``job_slots`` indexes into it.
+    jobs: List[MulticastJob]
+    #: Per-row interned block column id.
+    gids: List[int]
+    #: Per-row block index within its job.
+    indices: List[int]
+    #: Per-row destination server id.
+    dst_sids: List[int]
+    #: Per-row destination DC id.
+    dc_gids: List[int]
+    #: Per-row index into ``jobs``.
+    job_slots: List[int]
 
 
 @dataclass

@@ -49,8 +49,14 @@ class StandardLPRouter:
         self.max_sources_per_block = max_sources_per_block
 
     def route(
-        self, view: ClusterView, selections: Sequence[ScheduledBlock]
+        self,
+        view: ClusterView,
+        selections: Sequence[ScheduledBlock],
+        batch=None,
     ) -> Tuple[List[TransferDirective], RoutingDiagnostics]:
+        # ``batch`` (the scheduler's interned-id selection companion) is
+        # accepted for router-API compatibility but unused: the standard
+        # formulation is the optimality yardstick, not a hot path.
         started = _time.perf_counter()
         if not selections:
             return [], RoutingDiagnostics(

@@ -26,7 +26,9 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.decisions import ScheduledBlock
+import numpy as np
+
+from repro.core.decisions import ScheduledBlock, SelectionBatch
 from repro.lp.fptas import max_multicommodity_flow
 from repro.lp.incidence import PathIncidence
 from repro.lp.mcf import Commodity, solve_lp_incidence
@@ -92,9 +94,20 @@ class BDSRouter:
     # -- public API -------------------------------------------------------
 
     def route(
-        self, view: ClusterView, selections: Sequence[ScheduledBlock]
+        self,
+        view: ClusterView,
+        selections: Sequence[ScheduledBlock],
+        batch: Optional[SelectionBatch] = None,
     ) -> Tuple[List[TransferDirective], RoutingDiagnostics]:
-        """Allocate paths and rates for the scheduled blocks."""
+        """Allocate paths and rates for the scheduled blocks.
+
+        ``batch`` is the scheduler's integer companion of ``selections``
+        (present when the vectorized kernel produced them): with it, the
+        source-candidate picks and the §5.1 merge run on interned ids —
+        int group keys, int path/source memos — and server names are only
+        materialized once per final group. Groups, commodities, and
+        directives are identical with or without it.
+        """
         started = _time.perf_counter()
         if not selections:
             return [], RoutingDiagnostics(
@@ -105,7 +118,14 @@ class BDSRouter:
                 runtime=_time.perf_counter() - started,
             )
 
-        groups = self._build_groups(view, selections)
+        if (
+            batch is not None
+            and len(batch.gids) == len(selections)
+            and getattr(view.store, "is_exact_matrix", False)
+        ):
+            groups = self._build_groups_batched(view, selections, batch)
+        else:
+            groups = self._build_groups(view, selections)
         commodities, group_blocks = self._build_commodities(view, groups)
         if not commodities:
             return [], RoutingDiagnostics(
@@ -195,6 +215,151 @@ class BDSRouter:
             else:
                 key = (entry.job_id, f"{entry.dst_server}#{i}", sources)
             groups.setdefault(key, []).append(entry)
+        return groups
+
+    def _build_groups_batched(
+        self,
+        view: ClusterView,
+        selections: Sequence[ScheduledBlock],
+        batch: SelectionBatch,
+    ) -> Dict[GroupKey, List[ScheduledBlock]]:
+        """Interned-id twin of ``_build_groups`` + ``_candidate_sources``.
+
+        Same pick logic, run on small ints and batched holder lookups:
+
+        * Holder sets for every distinct selected block come from **one**
+          gather against the possession matrix per cycle (a servers ×
+          unique-blocks bit test), with failed agents masked out, instead
+          of a per-selection column scan. Ascending server id *is* the
+          lexicographic ``holders.sort()`` of the scalar path (server
+          interning is in sorted-name order).
+        * The actual source pick is memoized **content-addressed** in
+          ``CycleCache.picks``: the key is the block's packed holder
+          bitmask plus (destination id, block index), so the memo
+          survives store-epoch bumps — possession churn simply addresses
+          new entries — and steady-state cycles rebuild almost no picks.
+          Path reachability is baked into stored picks, hence the memo's
+          validity key is the *path* key (topology epoch, failed links).
+        * On a memo miss, the per-(src, dst) path probe goes through an
+          int-keyed memo (``CycleCache.paths_ids``) in front of
+          ``view.flow_resources``; DC grouping uses the matrix's
+          server→DC id table.
+
+        Group keys are int tuples during the loop; the string
+        :data:`GroupKey` is built once per group, in first-hit order, so
+        the resulting dict iterates exactly like the scalar build's.
+        """
+        matrix = view.store.matrix
+        names = matrix.server_names
+        num_servers = matrix.num_servers
+        dc_of_sid = matrix.server_dc_list
+        cache = view._cache
+        if cache is not None:
+            cache.validate_paths(view.topology.epoch, view.failed_links)
+            paths_ids = cache.paths_ids
+            picks = cache.validate_picks(
+                view.topology.epoch,
+                view.failed_links,
+                self.max_sources_per_group,
+            )
+        else:
+            paths_ids = {}
+            picks = {}
+        failed_sids = sorted(
+            matrix.server_ids[s]
+            for s in view.failed_agents
+            if s in matrix.server_ids
+        )
+        flow_resources = view.flow_resources
+        max_sources = self.max_sources_per_group
+        merge = self.merge_blocks
+        jobs = batch.jobs
+        job_ids = [job.job_id for job in jobs]
+
+        # One batched possession gather for all distinct selected blocks:
+        # present[s, u] == server s holds unique block u (failed masked).
+        gids_arr = np.asarray(batch.gids, dtype=np.int64)
+        uniq, inverse = np.unique(gids_arr, return_inverse=True)
+        holder_masks = (np.uint64(1) << (uniq & 63).astype(np.uint64))
+        present = (matrix.bits[:, uniq >> 6] & holder_masks) != 0
+        if failed_sids:
+            present[failed_sids, :] = False
+        # Per-unique-block memo keys: the packed holder bitmask bytes.
+        packed = np.ascontiguousarray(np.packbits(present, axis=0).T)
+        sigs = [packed[u].tobytes() for u in range(len(uniq))]
+        holder_lists: List[Optional[List[int]]] = [None] * len(uniq)
+        inv = inverse.tolist()
+
+        groups: Dict[GroupKey, List[ScheduledBlock]] = {}
+        labels: Dict[Tuple, GroupKey] = {}
+        members: Dict[Tuple, List[ScheduledBlock]] = {}
+        b_idx = batch.indices
+        b_dst = batch.dst_sids
+        b_dc = batch.dc_gids
+        b_slot = batch.job_slots
+        picks_get = picks.get
+        members_get = members.get
+        for i, entry in enumerate(selections):
+            dst_sid = b_dst[i]
+            idx = b_idx[i]
+            u = inv[i]
+            pick_key = (sigs[u], dst_sid, idx)
+            sources = picks_get(pick_key)
+            if sources is None:
+                holders = holder_lists[u]
+                if holders is None:
+                    holders = np.nonzero(present[:, u])[0].tolist()
+                    holder_lists[u] = holders
+                usable: List[int] = []
+                for h in holders:
+                    if h == dst_sid:
+                        continue
+                    pkey = h * num_servers + dst_sid
+                    try:
+                        path = paths_ids[pkey]
+                    except KeyError:
+                        path = flow_resources(names[h], names[dst_sid])
+                        paths_ids[pkey] = path
+                    if path is None:
+                        continue
+                    usable.append(h)
+                by_dc: Dict[int, List[int]] = {}
+                for h in usable:
+                    by_dc.setdefault(dc_of_sid[h], []).append(h)
+                picked: List[int] = []
+                dst_dc_gid = b_dc[i]
+                local = by_dc.get(dst_dc_gid)
+                if local is not None:
+                    picked.append(local[idx % len(local)])
+                other_dcs = sorted(d for d in by_dc if d != dst_dc_gid)
+                if other_dcs:
+                    start = idx % len(other_dcs)
+                    for d in other_dcs[start:] + other_dcs[:start]:
+                        if len(picked) >= max_sources:
+                            break
+                        servers = by_dc[d]
+                        candidate = servers[idx % len(servers)]
+                        if candidate not in picked:
+                            picked.append(candidate)
+                sources = tuple(picked[:max_sources])
+                picks[pick_key] = sources
+            if not sources:
+                continue
+            if merge:
+                ikey = (b_slot[i], dst_sid, sources)
+            else:
+                ikey = (i,)
+            entries = members_get(ikey)
+            if entries is None:
+                name_sources = tuple(names[s] for s in sources)
+                dst_label = (
+                    names[dst_sid] if merge else f"{names[dst_sid]}#{i}"
+                )
+                labels[ikey] = (job_ids[b_slot[i]], dst_label, name_sources)
+                entries = members[ikey] = []
+            entries.append(entry)
+        for ikey, entries in members.items():
+            groups[labels[ikey]] = entries
         return groups
 
     # -- step 3: commodity construction and solving -------------------------------

@@ -8,16 +8,64 @@ greedy per-cycle routing step rarely starves any block (§4.4's discussion).
 
 The selection is what shrinks the routing step's search space: only the
 selected deliveries become LP commodities.
+
+Three implementations coexist, selected by what the view carries:
+
+* **vectorized** (the default end-to-end path): candidate (block,
+  destination) pairs live in the static per-(job, DC) int arrays of a
+  :class:`~repro.net.candidates.CandidateTable`; pending-ness, rarity and
+  the health filters are numpy gathers against the possession matrix, and
+  the rarity order is one stable integer sort. Emits a
+  :class:`~repro.core.decisions.SelectionBatch` so the router can keep
+  working in interned-id space.
+* **cached scalar**: per-candidate queries deduped through the
+  :class:`~repro.net.cycle_cache.CycleCache` (PR 1's path; also the
+  fallback whenever the matrix is not the exact truth — speculation
+  overlays — or a job is missing from the table).
+* **legacy scalar**: the original store-query-per-candidate loop, kept
+  verbatim as the baseline for benchmarks and determinism A/B tests.
+
+All three produce identical selections in identical order.
 """
 
 from __future__ import annotations
 
 import time as _time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.core.decisions import ScheduledBlock
+import numpy as np
+
+from repro.core.decisions import ScheduledBlock, SelectionBatch
 from repro.net.simulator import ClusterView
 from repro.overlay.blocks import Block
+
+
+def _make_scheduled(
+    job_id: str,
+    block: Block,
+    dst_dc: str,
+    dst_server: str,
+    duplicates: int,
+    is_relay: bool,
+) -> ScheduledBlock:
+    """Construct a ScheduledBlock without the frozen-dataclass __init__.
+
+    The kernel builds one per selected row; at 10^5-selection cold cycles
+    the dataclass ``__init__`` (five guarded ``object.__setattr__`` calls)
+    is the single largest remaining cost. Writing the ``__dict__`` directly
+    yields an instance indistinguishable from the constructor's (same
+    fields, eq, hash, repr) at roughly a third of the cost.
+    """
+    sb = ScheduledBlock.__new__(ScheduledBlock)
+    sb.__dict__.update(
+        job_id=job_id,
+        block=block,
+        dst_dc=dst_dc,
+        dst_server=dst_server,
+        duplicates=duplicates,
+        is_relay=is_relay,
+    )
+    return sb
 
 
 class RarestFirstScheduler:
@@ -38,6 +86,9 @@ class RarestFirstScheduler:
             raise ValueError("max_blocks_per_cycle must be >= 0")
         self.max_blocks_per_cycle = max_blocks_per_cycle
         self.use_relays = use_relays
+        # Integer companion of the last vectorized selection (None when a
+        # scalar path ran); the router picks it up for its batched build.
+        self.last_batch: Optional[SelectionBatch] = None
 
     def select(self, view: ClusterView) -> List[ScheduledBlock]:
         """The cycle's ``w`` assignments, rarest blocks first.
@@ -45,18 +96,244 @@ class RarestFirstScheduler:
         Only deliveries with at least one healthy source and a healthy
         destination are selected (a failed agent drops out of the decision
         space, §5.3). Relay placements sort after all real deliveries.
-
-        Views without a :class:`~repro.net.cycle_cache.CycleCache`
-        attached (the legacy engine) take the original per-candidate
-        store-query path; cached views dedupe the rarity and source
-        queries to one per distinct block id per cycle and sort without a
-        per-comparison key callable. Both paths select the same blocks in
-        the same order.
         """
         started = _time.perf_counter()
+        self.last_batch = None
+        table = getattr(view, "_candidates", None)
+        store = view.store
+        # Engage the kernel only when the view's store is the very object
+        # the view was built around (not a proxy/overlay swapped in — the
+        # same exactness witness the pending maps use) and it answers
+        # straight from a live PossessionMatrix.
+        if (
+            table is not None
+            and store is getattr(view, "_map_store", None)
+            and getattr(store, "is_exact_matrix", False)
+        ):
+            matrix = store.matrix
+            if matrix is not None and table.matrix is matrix:
+                result = self._select_vectorized(view, table, matrix, started)
+                if result is not None:
+                    return result
         cache = getattr(view, "_cache", None)
         if cache is None:
             return self._select_legacy(view, started)
+        return self._select_cached(view, cache, started)
+
+    # -- vectorized kernel -------------------------------------------------
+
+    def _select_vectorized(
+        self, view: ClusterView, table, matrix, started: float
+    ) -> Optional[List[ScheduledBlock]]:
+        """Array-native selection over the static candidate table.
+
+        Returns ``None`` (fall back to the scalar paths) if the table
+        does not know one of the view's jobs.
+
+        Per candidate group: one possession gather decides pending-ness
+        (matrix bit test for deliveries, DC copy-count for relays), one
+        ``dup`` gather supplies rarity, boolean masks apply the failure
+        filters, and the surviving rows of all groups are ordered by a
+        single stable sort on a packed integer key equal to the legacy
+        tuple key ``(is_relay, -priority, duplicates, block index)`` —
+        stability supplies the insertion-order tie-break, and the group
+        concatenation order *is* the legacy enumeration order.
+
+        Groups compact their ``alive`` rows when a gather finds them
+        >50% possession-dead; possession is monotone during a run, so
+        dead rows never resurrect (see :mod:`repro.net.candidates`).
+        """
+        groups_by_job = table.groups_by_job
+        failed = view.failed_agents
+        failed_sids: List[int] = []
+        failed_lut = None
+        if failed:
+            server_ids = matrix.server_ids
+            failed_sids = sorted(
+                server_ids[s] for s in failed if s in server_ids
+            )
+            if failed_sids:
+                failed_lut = np.zeros(matrix.num_servers, dtype=bool)
+                failed_lut[failed_sids] = True
+        dup_all = matrix.dup
+        dc_counts = matrix.dc_counts
+        use_relays = self.use_relays
+
+        # Per-surviving-row columns, one array per group, concatenated
+        # once. ``slot`` indexes group_refs (and the per-slot job data);
+        # ``row`` is the candidate's original row in its group, the index
+        # into the group's ScheduledBlock cache.
+        slot_cols: List[np.ndarray] = []
+        row_cols: List[np.ndarray] = []
+        idx_cols: List[np.ndarray] = []
+        dst_cols: List[np.ndarray] = []
+        dup_cols: List[np.ndarray] = []
+        gid_cols: List[np.ndarray] = []
+        relay_cols: List[np.ndarray] = []
+        prio_cols: List[np.ndarray] = []
+        dcgid_cols: List[np.ndarray] = []
+        jslot_cols: List[np.ndarray] = []
+        group_refs: List[Tuple] = []  # (job, group, job_slot)
+
+        for job_slot, job in enumerate(view.jobs):
+            groups = groups_by_job.get(job.job_id)
+            if groups is None:
+                return None
+            neg_priority = -getattr(job, "priority", 0)
+            for group in groups:
+                if group.is_relay and not use_relays:
+                    continue
+                rows = group.alive
+                n = rows.size
+                if n == 0:
+                    continue
+                gids = group.gids[rows]
+                if group.is_relay:
+                    dead = dc_counts[group.dc_gid, gids] > 0
+                else:
+                    dead = matrix.test_many(group.dst_sids[rows], gids)
+                ndead = int(np.count_nonzero(dead))
+                if ndead:
+                    keep = ~dead
+                    rows = rows[keep]
+                    gids = gids[keep]
+                    if ndead * 2 > n:
+                        group.alive = rows
+                    if rows.size == 0:
+                        continue
+                dst = group.dst_sids[rows]
+                idx = group.indices[rows]
+                dup = dup_all[gids]
+                if failed_lut is not None:
+                    # Eligible sources = holders minus failed agents; the
+                    # destination cannot be a holder of a pending block,
+                    # so the count never double-discounts it.
+                    held_by_failed = np.zeros(gids.size, dtype=np.int64)
+                    for fsid in failed_sids:
+                        held_by_failed += matrix.test_row_many(fsid, gids)
+                    ok = ~failed_lut[dst] & (dup - held_by_failed > 0)
+                else:
+                    ok = dup > 0
+                if not ok.all():
+                    dst = dst[ok]
+                    if dst.size == 0:
+                        continue
+                    rows = rows[ok]
+                    idx = idx[ok]
+                    dup = dup[ok]
+                    gids = gids[ok]
+                slot = len(group_refs)
+                group_refs.append((job, group, job_slot))
+                m = dst.size
+                slot_cols.append(np.full(m, slot, dtype=np.int64))
+                row_cols.append(rows)
+                idx_cols.append(idx)
+                dst_cols.append(dst)
+                dup_cols.append(dup)
+                gid_cols.append(gids)
+                relay_cols.append(
+                    np.full(m, 1 if group.is_relay else 0, dtype=np.int64)
+                )
+                prio_cols.append(np.full(m, neg_priority, dtype=np.int64))
+                dcgid_cols.append(np.full(m, group.dc_gid, dtype=np.int64))
+                jslot_cols.append(np.full(m, job_slot, dtype=np.int64))
+
+        if not group_refs:
+            self.last_batch = SelectionBatch(
+                jobs=list(view.jobs),
+                gids=[],
+                indices=[],
+                dst_sids=[],
+                dc_gids=[],
+                job_slots=[],
+            )
+            self.last_runtime = _time.perf_counter() - started
+            return []
+
+        slot_col = np.concatenate(slot_cols)
+        row_col = np.concatenate(row_cols)
+        idx_col = np.concatenate(idx_cols)
+        dst_col = np.concatenate(dst_cols)
+        dup_col = np.concatenate(dup_cols)
+        gid_col = np.concatenate(gid_cols)
+        relay_col = np.concatenate(relay_cols)
+        prio_col = np.concatenate(prio_cols)
+        dcgid_col = np.concatenate(dcgid_cols)
+        jslot_col = np.concatenate(jslot_cols)
+
+        # One stable sort on a packed integer key ≡ the legacy ascending
+        # tuple sort (relay, -priority, duplicates, block index) with
+        # insertion order breaking ties. Field widths are data-dependent;
+        # if the packed key cannot fit 62 bits, fall back to a (stable)
+        # lexsort over the separate columns.
+        pmin = int(prio_col.min())
+        prio_range = int(prio_col.max()) - pmin + 1
+        dup_range = int(dup_col.max()) + 1
+        idx_range = int(idx_col.max()) + 1
+        if 2 * prio_range * dup_range * idx_range < (1 << 62):
+            key = (
+                (relay_col * prio_range + (prio_col - pmin)) * dup_range
+                + dup_col
+            ) * idx_range + idx_col
+            order = np.argsort(key, kind="stable")
+        else:  # pragma: no cover - needs ~2^62 distinct key values
+            order = np.lexsort((idx_col, dup_col, prio_col, relay_col))
+        if self.max_blocks_per_cycle:
+            order = order[: self.max_blocks_per_cycle]
+
+        sel_slot = slot_col[order].tolist()
+        sel_row = row_col[order].tolist()
+        sel_idx = idx_col[order].tolist()
+        sel_dst = dst_col[order].tolist()
+        sel_dup = dup_col[order].tolist()
+        names = matrix.server_names
+        make = _make_scheduled
+        selected: List[ScheduledBlock] = []
+        append = selected.append
+        # ScheduledBlock construction only for the final slice, and only
+        # for rows whose cached object is missing or carries a stale
+        # ``duplicates`` — every other field of a candidate row is static,
+        # so steady-state cycles mostly reuse last cycle's objects.
+        for slot, row, idx, dst, dup in zip(
+            sel_slot, sel_row, sel_idx, sel_dst, sel_dup
+        ):
+            job, group, _job_slot = group_refs[slot]
+            obj = group.objs[row]
+            if obj is None or group.objs_dup[row] != dup:
+                obj = make(
+                    job.job_id,
+                    job.blocks[idx],
+                    group.dc,
+                    names[dst],
+                    dup,
+                    group.is_relay,
+                )
+                group.objs[row] = obj
+                group.objs_dup[row] = dup
+            append(obj)
+        self.last_batch = SelectionBatch(
+            jobs=list(view.jobs),
+            gids=gid_col[order].tolist(),
+            indices=sel_idx,
+            dst_sids=sel_dst,
+            dc_gids=dcgid_col[order].tolist(),
+            job_slots=jslot_col[order].tolist(),
+        )
+        self.last_runtime = _time.perf_counter() - started
+        return selected
+
+    # -- scalar paths ------------------------------------------------------
+
+    def _select_cached(
+        self, view: ClusterView, cache, started: float
+    ) -> List[ScheduledBlock]:
+        """Scalar selection with per-cycle memoized store queries.
+
+        Views with a :class:`~repro.net.cycle_cache.CycleCache` attached
+        dedupe the rarity and source queries to one per distinct block id
+        per cycle and sort without a per-comparison key callable. Same
+        blocks, same order as the other paths.
+        """
         # Validate the cycle memos once, then work on the raw dicts: at
         # 10^5 candidates even a method call per query is measurable.
         cache.validate_sources(view.store.epoch, view._failed_frozen)

@@ -88,6 +88,12 @@ class DeliverySpeculator:
 class _SpeculatedStore:
     """Read-only possession overlay: real store + speculated deliveries."""
 
+    # The wrapped store's PossessionMatrix (if any) does not know about
+    # the speculated extra copies, so array consumers must not answer
+    # from it. A class attribute (not delegation through __getattr__,
+    # which would leak the real store's True) pins the witness to False.
+    is_exact_matrix = False
+
     def __init__(self, store, extra: Iterable[SpeculatedDelivery]) -> None:
         self._store = store
         self._extra_by_server: Dict[str, Set[BlockId]] = {}
@@ -174,3 +180,6 @@ class SpeculatedView(ClusterView):
         # different object, forcing the per-entry possession re-check.
         self._map_store = base._map_store
         self._map_epoch = base._map_epoch
+        # No candidate table: the vectorized kernel reads possession
+        # straight from the matrix, which does not see speculated copies.
+        self._candidates = None

@@ -1,0 +1,135 @@
+"""Static candidate arrays for the vectorized scheduling kernel.
+
+The rarest-first scheduler's decision space is fixed at job-bind time:
+every (block, destination DC) pair of every job is a potential delivery,
+and every (block, relay DC) pair a potential relay placement. What varies
+per cycle is only *which* of those candidates are still pending and which
+pass the health filters — both answerable straight from the possession
+matrix with array gathers.
+
+:class:`CandidateTable` materializes that decision space once per
+simulation as parallel int arrays (block column id, block index, assigned
+destination server id), grouped per (job, DC) in the exact enumeration
+order of the legacy scalar scan: for each job, destination DCs first (in
+``job.dst_dcs`` order), then relay DCs, each group in ascending block
+index. The vectorized ``select`` concatenates the groups' still-alive
+rows, which reproduces the legacy insertion order — the tie-breaker of
+the stable rarity sort — by construction.
+
+Groups track an ``alive`` row subset that is compacted lazily: when more
+than half of a group's alive rows turn out possession-dead during a
+cycle's gather, the dead rows are dropped for good. Possession is
+monotone while a simulation runs (the simulator never drops copies
+mid-run; disk-loss enters as *agent* failure), so a dead candidate can
+never come back — the same never-re-add reasoning the incremental
+engine's pending maps rely on. Steady-state per-cycle cost therefore
+tracks remaining work, not total state size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.overlay.job import MulticastJob
+from repro.overlay.store import PossessionMatrix
+
+
+class CandidateGroup:
+    """All candidate rows for one (job, DC) — deliveries or relays."""
+
+    __slots__ = (
+        "job",
+        "dc",
+        "dc_gid",
+        "is_relay",
+        "gids",
+        "indices",
+        "dst_sids",
+        "alive",
+        "objs",
+        "objs_dup",
+    )
+
+    def __init__(
+        self,
+        job: MulticastJob,
+        dc: str,
+        dc_gid: int,
+        is_relay: bool,
+        gids: np.ndarray,
+        indices: np.ndarray,
+        dst_sids: np.ndarray,
+    ) -> None:
+        self.job = job
+        self.dc = dc
+        self.dc_gid = dc_gid
+        self.is_relay = is_relay
+        self.gids = gids
+        self.indices = indices
+        self.dst_sids = dst_sids
+        # Row positions not yet known to be possession-dead. Starts full;
+        # the kernel shrinks it when a cycle's gather finds >50% dead.
+        self.alive = np.arange(len(indices), dtype=np.int64)
+        # Per-row ScheduledBlock cache, indexed by *original* row position
+        # (compaction shrinks ``alive`` but never renumbers rows). Every
+        # field of a row's ScheduledBlock is static except ``duplicates``,
+        # so the kernel reuses the cached object while ``objs_dup`` still
+        # matches the cycle's rarity gather and rebuilds it otherwise —
+        # steady-state cycles then construct no objects at all.
+        self.objs: List[object] = [None] * len(indices)
+        self.objs_dup: List[int] = [-1] * len(indices)
+
+
+class CandidateTable:
+    """Per-job candidate groups, keyed by job id.
+
+    Built once after initial seeding (all of a job's blocks are interned
+    into the matrix by then; :meth:`PossessionMatrix.intern` is still
+    called defensively so the table never depends on seeding order).
+    Owned by the :class:`~repro.net.simulator.Simulation` and shared by
+    every cycle's view — including partition clones, whose extra failed
+    agents are a per-cycle mask, not a table property. Speculation
+    overlays must *not* carry the table (their store shadows the matrix
+    with phantom copies); :class:`~repro.core.speculation.SpeculatedView`
+    drops it, which sends the scheduler down the scalar path.
+    """
+
+    def __init__(
+        self, jobs: Sequence[MulticastJob], matrix: PossessionMatrix
+    ) -> None:
+        self.matrix = matrix
+        self.groups_by_job: Dict[str, List[CandidateGroup]] = {}
+        server_ids = matrix.server_ids
+        for job in jobs:
+            gids = np.fromiter(
+                (matrix.intern(b.block_id) for b in job.blocks),
+                dtype=np.int64,
+                count=len(job.blocks),
+            )
+            indices = np.arange(len(job.blocks), dtype=np.int64)
+            groups: List[CandidateGroup] = []
+            for dc, is_relay in [(d, False) for d in job.dst_dcs] + [
+                (d, True) for d in job.relay_dcs
+            ]:
+                dst_sids = np.fromiter(
+                    (
+                        server_ids[job.assigned_server(dc, b.block_id)]
+                        for b in job.blocks
+                    ),
+                    dtype=np.int64,
+                    count=len(job.blocks),
+                )
+                groups.append(
+                    CandidateGroup(
+                        job=job,
+                        dc=dc,
+                        dc_gid=matrix.dc_ids[dc],
+                        is_relay=is_relay,
+                        gids=gids,
+                        indices=indices,
+                        dst_sids=dst_sids,
+                    )
+                )
+            self.groups_by_job[job.job_id] = groups

@@ -42,9 +42,13 @@ class CycleCache:
     __slots__ = (
         "_path_key",
         "paths",
+        "paths_ids",
         "_source_key",
         "sources",
+        "source_ids",
         "rarity",
+        "_picks_key",
+        "picks",
         "hits",
         "misses",
         "flushes",
@@ -57,9 +61,26 @@ class CycleCache:
         self.paths: Dict[
             Tuple[str, str], Optional[Tuple[ResourceKey, ...]]
         ] = {}
+        # Integer twin of ``paths`` for the batched router build:
+        # src_sid * num_servers + dst_sid -> resource tuple or None.
+        # Same validity key; flushed together with ``paths``.
+        self.paths_ids: Dict[int, Optional[Tuple[ResourceKey, ...]]] = {}
         self._source_key: Optional[SourceKey] = None
         self.sources: Dict[BlockId, List[str]] = {}
+        # Integer twin of ``sources``: block column gid -> ascending list
+        # of eligible holder server ids. Same validity key as ``sources``.
+        self.source_ids: Dict[int, List[int]] = {}
         self.rarity: Dict[BlockId, int] = {}
+        # Content-addressed source-pick memo for the batched router build:
+        # (holder-bitmask bytes, dst server id, block index) -> picked
+        # source-id tuple. The holder bitmask (with failed agents masked
+        # out) IS part of the key, so possession churn simply addresses
+        # new entries instead of invalidating old ones — unlike ``sources``
+        # this memo survives store-epoch bumps and gets near-100% hits in
+        # steady state. Path reachability is baked into stored picks, so
+        # the table flushes with the path memo's validity key.
+        self.picks: Dict[Tuple[bytes, int, int], Tuple[int, ...]] = {}
+        self._picks_key: Optional[Tuple[int, FrozenSet, int]] = None
         # Telemetry (coarse; bumped by ClusterView's cached accessors).
         self.hits: int = 0
         self.misses: int = 0
@@ -74,10 +95,28 @@ class CycleCache:
         key = (topology_epoch, failed_links)
         if key != self._path_key:
             self._path_key = key
-            if self.paths:
+            if self.paths or self.paths_ids:
                 self.paths = {}
+                self.paths_ids = {}
                 self.flushes += 1
         return self.paths
+
+    def validate_picks(
+        self, topology_epoch: int, failed_links: FrozenSet, max_sources: int
+    ) -> Dict[Tuple[bytes, int, int], Tuple[int, ...]]:
+        """The source-pick memo, flushed if paths (or the cap) changed.
+
+        ``max_sources`` is the router's ``max_sources_per_group``: picks
+        depend on it, and the memo lives in the simulation-owned cache, so
+        a router swap with a different cap must not reuse stale picks.
+        """
+        key = (topology_epoch, failed_links, max_sources)
+        if key != self._picks_key:
+            self._picks_key = key
+            if self.picks:
+                self.picks = {}
+                self.flushes += 1
+        return self.picks
 
     def validate_sources(
         self, store_epoch: int, failed_agents: FrozenSet
@@ -86,8 +125,9 @@ class CycleCache:
         key = (store_epoch, failed_agents)
         if key != self._source_key:
             self._source_key = key
-            if self.sources or self.rarity:
+            if self.sources or self.rarity or self.source_ids:
                 self.sources = {}
+                self.source_ids = {}
                 self.rarity = {}
                 self.flushes += 1
 

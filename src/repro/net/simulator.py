@@ -94,6 +94,15 @@ class SimConfig:
     # in-tree baseline for the hot-path benchmark and the determinism
     # A/B regression test; results are identical either way.
     incremental_engine: bool = True
+    # Array-native control plane: back the possession index with a packed
+    # bitset PossessionMatrix and (with the incremental engine) feed the
+    # scheduler/router static candidate arrays + integer server/block ids
+    # so selection is a handful of numpy gathers and one stable sort.
+    # False reverts to the dict-of-sets store and the scalar scheduler —
+    # kept as the in-tree baseline for the scheduler-kernel benchmark and
+    # the determinism A/B tests; selections and directives are
+    # bit-identical either way.
+    vectorized_store: bool = True
 
     def __post_init__(self) -> None:
         check_positive("cycle_seconds", self.cycle_seconds)
@@ -301,6 +310,7 @@ class ClusterView:
         cache: Optional[CycleCache] = None,
         pending_order: Optional[Dict[Tuple[str, str], List[Tuple[BlockId, str]]]] = None,
         relay_order: Optional[Dict[Tuple[str, str], List[BlockId]]] = None,
+        candidates: Optional["CandidateTableLike"] = None,
     ) -> None:
         self.topology = topology
         self.store = store
@@ -328,6 +338,10 @@ class ClusterView:
         self._relay_order = relay_order
         self._map_store = store
         self._map_epoch = getattr(store, "epoch", -1)
+        # Static candidate arrays for the vectorized scheduling kernel
+        # (see repro.net.candidates); None sends the scheduler down the
+        # scalar paths.
+        self._candidates = candidates
 
     def agent_is_up(self, server_id: str) -> bool:
         return server_id not in self.failed_agents
@@ -361,6 +375,7 @@ class ClusterView:
             cache=self._cache,
             pending_order=self._pending_order,
             relay_order=self._relay_order,
+            candidates=self._candidates,
         )
         return clone
 
@@ -589,7 +604,9 @@ class Simulation:
         if not self.jobs:
             raise ValueError("need at least one job")
         server_dc = {s.server_id: s.dc for s in topology.servers.values()}
-        self.store = PossessionIndex(server_dc)
+        self.store = PossessionIndex(
+            server_dc, vectorized=self.config.vectorized_store
+        )
         for job in self.jobs:
             if not job.is_bound():
                 job.bind(topology)
@@ -648,6 +665,16 @@ class Simulation:
             self._origin_dc[job.job_id] = job.src_dc
             for block in job.blocks:
                 self._blocks_by_id[block.block_id] = block
+
+        # Static candidate arrays for the vectorized scheduling kernel:
+        # every (block, destination/relay DC) pair of every job, as
+        # parallel int arrays. Built once, after seeding (so pre-seeded
+        # copies compact out on the first cycle's gather).
+        self._cand_table = None
+        if self.config.incremental_engine and self.store.matrix is not None:
+            from repro.net.candidates import CandidateTable
+
+            self._cand_table = CandidateTable(self.jobs, self.store.matrix)
 
         # Incremental-engine state: the persistent per-cycle query cache
         # and the memoized capacity maps (see _bulk_capacities).
@@ -784,6 +811,7 @@ class Simulation:
             cache=self._cycle_cache if incremental else None,
             pending_order=self._pending_order if incremental else None,
             relay_order=self._relay_order if incremental else None,
+            candidates=self._cand_table if incremental else None,
         )
 
     # -- main loop -------------------------------------------------------------
@@ -864,6 +892,7 @@ class Simulation:
                 cache=self._cycle_cache if incremental else None,
                 pending_order=self._pending_order if incremental else None,
                 relay_order=self._relay_order if incremental else None,
+                candidates=self._cand_table if incremental else None,
             )
             decide_started = _time.perf_counter()
             time_view_build = decide_started - stage_started
@@ -1109,6 +1138,12 @@ class OverlayStrategyLike:
 
     def decide(self, view: ClusterView) -> List[TransferDirective]:
         raise NotImplementedError
+
+
+class CandidateTableLike:
+    """Duck-type of :class:`repro.net.candidates.CandidateTable`."""
+
+    groups_by_job: Dict[str, List] = {}
 
 
 class ControllerReplicaSetLike:

@@ -8,12 +8,41 @@ evaluation logic needs:
 * per-DC possession (for completion detection);
 * delivery provenance (whether each delivered block came from the origin DC
   or from an overlay path — the Fig. 13c measurement).
+
+Two backings exist behind the same :class:`PossessionIndex` API:
+
+* the **array-native** backing (default): a :class:`PossessionMatrix` of
+  packed ``uint64`` bitset rows (servers × blocks) with interned integer
+  ids for servers, DCs, and blocks. Duplicate counts and per-DC copy
+  counts are maintained incrementally alongside the bits, so rarity is a
+  single array gather and the vectorized scheduler can mask/sort whole
+  candidate sets without touching Python objects;
+* the **legacy dict-of-sets** backing (``vectorized=False``), kept
+  verbatim as the baseline the scheduler-kernel benchmark and the
+  equivalence tests A/B against.
+
+Both backings keep identical epoch arithmetic: every *new* possession
+(seed or delivery) bumps ``epoch`` by one, and ``drop_server`` bumps it
+once per call (not once per dropped block — see the method docstring).
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    AbstractSet,
+    Set,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.overlay.blocks import Block
 
@@ -31,33 +60,271 @@ class DeliveryRecord:
     from_origin_dc: bool
 
 
-_EMPTY_HOLDERS: Set[str] = set()
+#: Immutable empties returned for unknown blocks/servers. These used to be
+#: module-level *mutable* sets: one stray caller mutation would have
+#: poisoned every future query for every index in the process. Frozen
+#: variants make that class of bug structurally impossible.
+_EMPTY_HOLDERS: FrozenSet[str] = frozenset()
+_EMPTY_BLOCKS: FrozenSet[BlockId] = frozenset()
+
+
+class PossessionMatrix:
+    """Packed servers × blocks possession bitset with interned integer ids.
+
+    The id interning contract:
+
+    * **servers** are interned once at construction, in ascending name
+      order — so ascending server id equals lexicographic server-name
+      order, and ``np.nonzero`` over a bit column yields holders already
+      sorted the way the router's candidate-source logic sorts names;
+    * **DCs** are interned once at construction, also in sorted-name
+      order (DC-id comparisons reproduce DC-name comparisons);
+    * **blocks** are interned on first touch (seed, delivery, or an
+      explicit :meth:`intern`) and keep their column for the lifetime of
+      the matrix. The column space grows geometrically (capacity doubles,
+      rounded to whole 64-bit words); existing bits are copied, ids never
+      move.
+
+    Row ``s`` packs the blocks server ``s`` holds, 64 block columns per
+    ``uint64`` word (block ``g`` lives in word ``g >> 6``, bit ``g & 63``).
+    ``dup[g]`` (cluster-wide copy count — the §4.3 rarity measure) and
+    ``dc_counts[d, g]`` (copies inside DC ``d``) are maintained
+    incrementally on every bit flip, so they always equal the popcount of
+    the corresponding column (resp. the column restricted to the DC's
+    rows); the equivalence tests assert this invariant directly.
+    """
+
+    __slots__ = (
+        "server_names",
+        "server_ids",
+        "dc_names",
+        "dc_ids",
+        "server_dc_ids",
+        "server_dc_list",
+        "bits",
+        "dup",
+        "dc_counts",
+        "block_gids",
+        "block_names",
+        "_capacity",
+        "_words",
+        "_flat",
+    )
+
+    def __init__(
+        self, server_dc: Mapping[str, str], block_capacity: int = 1024
+    ) -> None:
+        names = sorted(server_dc)
+        self.server_names: List[str] = names
+        self.server_ids: Dict[str, int] = {n: i for i, n in enumerate(names)}
+        self.dc_names: List[str] = sorted(set(server_dc.values()))
+        self.dc_ids: Dict[str, int] = {d: i for i, d in enumerate(self.dc_names)}
+        self.server_dc_ids = np.array(
+            [self.dc_ids[server_dc[n]] for n in names], dtype=np.int64
+        )
+        self.server_dc_list: List[int] = self.server_dc_ids.tolist()
+        capacity = max(64, block_capacity)
+        capacity = (capacity + 63) & ~63  # whole uint64 words
+        self._capacity = capacity
+        self._words = capacity >> 6
+        num_servers = len(names)
+        self.bits = np.zeros((num_servers, self._words), dtype=np.uint64)
+        self._flat = self.bits.reshape(-1)
+        self.dup = np.zeros(capacity, dtype=np.int64)
+        self.dc_counts = np.zeros(
+            (len(self.dc_names), capacity), dtype=np.int64
+        )
+        self.block_gids: Dict[BlockId, int] = {}
+        self.block_names: List[BlockId] = []
+
+    # -- interning ---------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.server_names)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.block_names)
+
+    def intern(self, block_id: BlockId) -> int:
+        """The block's column id, allocating one on first sight."""
+        gid = self.block_gids.get(block_id)
+        if gid is None:
+            gid = len(self.block_names)
+            if gid >= self._capacity:
+                self._grow(gid + 1)
+            self.block_gids[block_id] = gid
+            self.block_names.append(block_id)
+        return gid
+
+    def gid_of(self, block_id: BlockId) -> Optional[int]:
+        """The block's column id, or ``None`` if never interned."""
+        return self.block_gids.get(block_id)
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(self._capacity * 2, (needed + 63) & ~63)
+        capacity = (capacity + 63) & ~63
+        words = capacity >> 6
+        bits = np.zeros((self.bits.shape[0], words), dtype=np.uint64)
+        bits[:, : self._words] = self.bits
+        self.bits = bits
+        self._flat = bits.reshape(-1)
+        dup = np.zeros(capacity, dtype=np.int64)
+        dup[: self._capacity] = self.dup
+        self.dup = dup
+        dc_counts = np.zeros((self.dc_counts.shape[0], capacity), dtype=np.int64)
+        dc_counts[:, : self._capacity] = self.dc_counts
+        self.dc_counts = dc_counts
+        self._capacity = capacity
+        self._words = words
+
+    # -- single-bit updates/queries ---------------------------------------
+
+    def test_bit(self, sid: int, gid: int) -> bool:
+        """Does server ``sid`` hold block column ``gid``?"""
+        word = self._flat.item(sid * self._words + (gid >> 6))
+        return bool((word >> (gid & 63)) & 1)
+
+    def set_bit(self, sid: int, gid: int) -> bool:
+        """Set one possession bit; returns ``True`` if it was newly set."""
+        i = sid * self._words + (gid >> 6)
+        word = self._flat.item(i)
+        mask = 1 << (gid & 63)
+        if word & mask:
+            return False
+        self._flat[i] = word | mask
+        self.dup[gid] += 1
+        self.dc_counts[self.server_dc_list[sid], gid] += 1
+        return True
+
+    def set_many(self, sid: int, gids: Iterable[int]) -> int:
+        """Set a batch of bits on one row; returns how many were new.
+
+        The batched form keeps large initial seedings (10^6-block jobs)
+        out of per-bit Python loops: previously-unset columns are found
+        with one gather, the row is OR-updated wordwise, and the
+        duplicate/DC counters advance with unique fancy indexing.
+        """
+        unique = np.unique(np.asarray(list(gids), dtype=np.int64))
+        if unique.size == 0:
+            return 0
+        row = self.bits[sid]
+        words = unique >> 6
+        masks = np.uint64(1) << (unique & 63).astype(np.uint64)
+        fresh = (row[words] & masks) == 0
+        new_gids = unique[fresh]
+        if new_gids.size == 0:
+            return 0
+        # bitwise_or.at handles repeated word indices (several new blocks
+        # landing in the same 64-column word) where fancy |= would not.
+        np.bitwise_or.at(row, words[fresh], masks[fresh])
+        self.dup[new_gids] += 1
+        self.dc_counts[self.server_dc_list[sid]][new_gids] += 1
+        return int(new_gids.size)
+
+    def clear_row(self, sid: int) -> int:
+        """Drop every block on one server; returns how many were held."""
+        held = self.row_gids(sid)
+        if held.size == 0:
+            return 0
+        self.dup[held] -= 1
+        self.dc_counts[self.server_dc_list[sid]][held] -= 1
+        self.bits[sid, :] = 0
+        return int(held.size)
+
+    # -- batched queries (the vectorized control-plane surface) ------------
+
+    def holder_ids(self, gid: int) -> np.ndarray:
+        """Server ids holding the block, ascending (== sorted by name)."""
+        column = self.bits[:, gid >> 6]
+        mask = np.uint64(1 << (gid & 63))
+        return np.nonzero(column & mask)[0]
+
+    def row_gids(self, sid: int) -> np.ndarray:
+        """Block columns set on one server row, ascending."""
+        row = self.bits[sid]
+        if not row.any():
+            return np.empty(0, dtype=np.int64)
+        if sys.byteorder == "big":  # pragma: no cover - x86/arm are little
+            row = row.byteswap()
+        flags = np.unpackbits(row.view(np.uint8), bitorder="little")
+        return np.nonzero(flags)[0].astype(np.int64)
+
+    def test_many(self, sids: np.ndarray, gids: np.ndarray) -> np.ndarray:
+        """Boolean possession gather for parallel (server, block) arrays."""
+        words = self.bits[sids, gids >> 6]
+        return (words >> (gids & 63).astype(np.uint64)) & np.uint64(1) != 0
+
+    def test_row_many(self, sid: int, gids: np.ndarray) -> np.ndarray:
+        """Boolean possession gather for one server over many blocks."""
+        row = self.bits[sid]
+        words = row[gids >> 6]
+        return (words >> (gids & 63).astype(np.uint64)) & np.uint64(1) != 0
+
+    def dc_covered_many(self, dc_gids: np.ndarray, gids: np.ndarray) -> np.ndarray:
+        """Per-(DC, block) "does the DC hold any copy" gather."""
+        return self.dc_counts[dc_gids, gids] > 0
 
 
 class PossessionIndex:
     """Tracks block possession per server with O(1) updates and lookups.
 
-    ``epoch`` counts mutations (seeds, deliveries, drops). Read-side caches
-    — most importantly the per-cycle :class:`~repro.net.cycle_cache.
-    CycleCache` — key their validity on it: any possession change bumps the
-    epoch and invalidates every memoized rarity/holder query.
+    ``epoch`` counts mutation *events*: one bump per newly-placed copy
+    (seed or delivery) and one bump per effective ``drop_server`` call.
+    Read-side caches — most importantly the per-cycle :class:`~repro.net.
+    cycle_cache.CycleCache` — key their validity on it: any possession
+    change bumps the epoch and invalidates every memoized rarity/holder
+    query.
+
+    With ``vectorized=True`` (the default) the index is a thin facade over
+    a :class:`PossessionMatrix`; the hot control-plane paths bypass the
+    facade and operate on the matrix arrays directly (see
+    :mod:`repro.core.scheduling`). ``vectorized=False`` keeps the original
+    dict-of-sets bookkeeping as the in-tree baseline for the
+    scheduler-kernel benchmark and the equivalence tests.
     """
 
-    def __init__(self, server_dc: Mapping[str, str]) -> None:
+    def __init__(
+        self, server_dc: Mapping[str, str], vectorized: bool = True
+    ) -> None:
         # server id -> DC name; fixed for the lifetime of the index.
         self._server_dc: Dict[str, str] = dict(server_dc)
-        self._holders: Dict[BlockId, Set[str]] = {}
-        self._server_blocks: Dict[str, Set[BlockId]] = {
-            s: set() for s in self._server_dc
-        }
-        self._dc_counts: Dict[Tuple[str, BlockId], int] = {}
         self.deliveries: List[DeliveryRecord] = []
         self.epoch: int = 0
+        self.matrix: Optional[PossessionMatrix] = None
+        self._holders: Dict[BlockId, Set[str]] = {}
+        self._server_blocks: Dict[str, Set[BlockId]] = {}
+        self._dc_counts: Dict[Tuple[str, BlockId], int] = {}
+        if vectorized:
+            self.matrix = PossessionMatrix(self._server_dc)
+        else:
+            self._server_blocks = {s: set() for s in self._server_dc}
+
+    @property
+    def is_exact_matrix(self) -> bool:
+        """True when queries answer straight from a live PossessionMatrix.
+
+        Overlay stores (speculation) wrap an index and add phantom copies;
+        they advertise ``False`` so the vectorized scheduler/router know
+        the matrix alone is not the whole truth and fall back to the
+        facade queries.
+        """
+        return self.matrix is not None
 
     # -- updates --------------------------------------------------------------
 
     def seed(self, server_id: str, blocks: Iterable[Block]) -> None:
         """Place initial copies (no delivery records; they were never sent)."""
+        matrix = self.matrix
+        if matrix is not None:
+            try:
+                sid = matrix.server_ids[server_id]
+            except KeyError:
+                raise KeyError(f"unknown server {server_id!r}") from None
+            gids = [matrix.intern(block.block_id) for block in blocks]
+            self.epoch += matrix.set_many(sid, gids)
+            return
         for block in blocks:
             self._add(block.block_id, server_id)
 
@@ -88,6 +355,15 @@ class PossessionIndex:
         return record
 
     def _add(self, block_id: BlockId, server_id: str) -> None:
+        matrix = self.matrix
+        if matrix is not None:
+            try:
+                sid = matrix.server_ids[server_id]
+            except KeyError:
+                raise KeyError(f"unknown server {server_id!r}") from None
+            if matrix.set_bit(sid, matrix.intern(block_id)):
+                self.epoch += 1
+            return
         if server_id not in self._server_dc:
             raise KeyError(f"unknown server {server_id!r}")
         holders = self._holders.setdefault(block_id, set())
@@ -101,7 +377,25 @@ class PossessionIndex:
         self.epoch += 1
 
     def drop_server(self, server_id: str) -> None:
-        """Remove all copies on a failed server (disk loss)."""
+        """Remove all copies on a failed server (disk loss).
+
+        Bumps the epoch **once per call** (when anything was actually
+        dropped), not once per dropped block: a disk-loss event is one
+        state transition, and epoch-delta consumers (anything comparing
+        ``epoch`` across reads to estimate churn) should see it as one
+        invalidation, not thousands. :class:`~repro.net.cycle_cache.
+        CycleCache` only tests epoch *equality*, so its invalidation
+        behaviour is unchanged either way.
+        """
+        matrix = self.matrix
+        if matrix is not None:
+            sid = matrix.server_ids.get(server_id)
+            if sid is None:
+                return
+            if matrix.clear_row(sid):
+                self.epoch += 1
+            return
+        dropped = False
         for block_id in list(self._server_blocks.get(server_id, ())):
             self._holders[block_id].discard(server_id)
             dc = self._server_dc[server_id]
@@ -109,8 +403,11 @@ class PossessionIndex:
             self._dc_counts[key] -= 1
             if self._dc_counts[key] == 0:
                 del self._dc_counts[key]
+            dropped = True
+        if server_id in self._server_blocks:
+            self._server_blocks[server_id] = set()
+        if dropped:
             self.epoch += 1
-        self._server_blocks[server_id] = set()
 
     # -- queries ---------------------------------------------------------------
 
@@ -118,28 +415,77 @@ class PossessionIndex:
         return self._server_dc[server_id]
 
     def has(self, server_id: str, block_id: BlockId) -> bool:
+        matrix = self.matrix
+        if matrix is not None:
+            gid = matrix.block_gids.get(block_id)
+            if gid is None:
+                return False
+            sid = matrix.server_ids.get(server_id)
+            if sid is None:
+                return False
+            return matrix.test_bit(sid, gid)
         return block_id in self._server_blocks.get(server_id, ())
 
-    def holders(self, block_id: BlockId) -> Set[str]:
+    def holders(self, block_id: BlockId) -> AbstractSet[str]:
         """Servers currently holding the block.
 
-        Returns the *live* internal set — callers must treat it as
-        read-only (the per-cycle hot paths call this for every pending
-        block; copying here dominated steady-state allocation churn).
+        Returns a *read-only view*: the matrix backing materializes a
+        ``frozenset`` from the bit column; the dict backing returns the
+        live internal set (copying here dominated steady-state allocation
+        churn) and unknown blocks get a shared ``frozenset()``. Callers
+        must never mutate the result.
         """
+        matrix = self.matrix
+        if matrix is not None:
+            gid = matrix.block_gids.get(block_id)
+            if gid is None:
+                return _EMPTY_HOLDERS
+            names = matrix.server_names
+            return frozenset(names[i] for i in matrix.holder_ids(gid))
         return self._holders.get(block_id, _EMPTY_HOLDERS)
 
     def duplicate_count(self, block_id: BlockId) -> int:
         """Number of copies cluster-wide (the §4.3 rarity measure)."""
+        matrix = self.matrix
+        if matrix is not None:
+            gid = matrix.block_gids.get(block_id)
+            return int(matrix.dup[gid]) if gid is not None else 0
         return len(self._holders.get(block_id, ()))
 
-    def blocks_on(self, server_id: str) -> Set[BlockId]:
-        return set(self._server_blocks.get(server_id, ()))
+    def blocks_on(self, server_id: str) -> AbstractSet[BlockId]:
+        """Blocks held by one server, as a read-only view.
+
+        The dict backing returns the live internal set (this used to copy
+        on every call); the matrix backing decodes the server's bit row
+        into a fresh ``frozenset``. Either way callers must treat the
+        result as immutable — derive new sets with ``|``/``-`` instead of
+        mutating in place.
+        """
+        matrix = self.matrix
+        if matrix is not None:
+            sid = matrix.server_ids.get(server_id)
+            if sid is None:
+                return _EMPTY_BLOCKS
+            names = matrix.block_names
+            return frozenset(names[g] for g in matrix.row_gids(sid))
+        return self._server_blocks.get(server_id, _EMPTY_BLOCKS)
 
     def dc_has_block(self, dc: str, block_id: BlockId) -> bool:
+        matrix = self.matrix
+        if matrix is not None:
+            return self.dc_copy_count(dc, block_id) > 0
         return self._dc_counts.get((dc, block_id), 0) > 0
 
     def dc_copy_count(self, dc: str, block_id: BlockId) -> int:
+        matrix = self.matrix
+        if matrix is not None:
+            gid = matrix.block_gids.get(block_id)
+            if gid is None:
+                return 0
+            did = matrix.dc_ids.get(dc)
+            if did is None:
+                return 0
+            return int(matrix.dc_counts[did, gid])
         return self._dc_counts.get((dc, block_id), 0)
 
     # -- evaluation helpers -----------------------------------------------------

@@ -25,7 +25,10 @@ SEED = 90  # the Fig. 9 headline seed
 
 
 def _run(
-    strategy_name: str, incremental: bool, with_failures: bool = False
+    strategy_name: str,
+    incremental: bool,
+    with_failures: bool = False,
+    vectorized: bool = True,
 ) -> SimResult:
     topo = Topology.full_mesh(
         num_dcs=5, servers_per_dc=4, wan_capacity=500 * MBps, uplink=25 * MBps
@@ -52,7 +55,9 @@ def _run(
         topology=topo,
         jobs=[job],
         strategy=make_strategy(strategy_name, seed=SEED),
-        config=SimConfig(incremental_engine=incremental),
+        config=SimConfig(
+            incremental_engine=incremental, vectorized_store=vectorized
+        ),
         failures=failures,
         seed=SEED,
     )
@@ -95,6 +100,34 @@ class TestGoldenDeterminism:
         first = _run("bds", incremental=True, with_failures=True)
         second = _run("bds", incremental=True, with_failures=True)
         assert _fingerprint(first) == _fingerprint(second)
+
+
+class TestArrayNativeDeterminism:
+    """The array-native control plane must be bit-identical to the
+    dict-of-sets store + scalar scheduler/router it replaced."""
+
+    @pytest.mark.parametrize("strategy", ["bds", "gingko"])
+    def test_vectorized_matches_scalar(self, strategy):
+        vectorized = _run(strategy, incremental=True, vectorized=True)
+        scalar = _run(strategy, incremental=True, vectorized=False)
+        assert vectorized.all_complete
+        assert _fingerprint(vectorized) == _fingerprint(scalar)
+
+    @pytest.mark.parametrize("strategy", ["bds", "gingko"])
+    def test_vectorized_matches_scalar_under_failures(self, strategy):
+        vectorized = _run(
+            strategy, incremental=True, with_failures=True, vectorized=True
+        )
+        scalar = _run(
+            strategy, incremental=True, with_failures=True, vectorized=False
+        )
+        assert _fingerprint(vectorized) == _fingerprint(scalar)
+
+    def test_vectorized_matches_legacy_engine(self):
+        # Cross axis: array-native + incremental vs neither.
+        vectorized = _run("bds", incremental=True, vectorized=True)
+        legacy = _run("bds", incremental=False, vectorized=False)
+        assert _fingerprint(vectorized) == _fingerprint(legacy)
 
 
 # ---------------------------------------------------------------------------
