@@ -1,0 +1,230 @@
+"""Flow-kernel A/B — array data plane vs the scalar rate/delivery path.
+
+Three measurements, all with bit-identity asserted between arms:
+
+* **Synthetic scale points** (6k/60k/600k flows) isolate the rate
+  kernels — ``max_min_fair_rates`` scalar vs vectorized, ditto
+  ``clip_rates_to_capacity`` — plus the delivery application split
+  (looped ``record_delivery`` vs one batched ``record_deliveries``) on
+  the same event counts. The headline number is the largest point's
+  combined rate+deliver speedup.
+* **End-to-end simulation A/B** flips only ``SimConfig.vectorized_flow``
+  on a delivery-heavy Gingko run; fingerprints, per-cycle deliveries,
+  and the full provenance record list must match exactly.
+* **ΔT budget**: full steady-state controller cycles over ~10^6 (block,
+  destination) pairs (view/schedule/route/rate/deliver, Eq. 3 selection
+  cap); the worst single cycle's stage total must fit the paper's 3 s
+  update interval.
+
+Run as a script to emit ``BENCH_flow.json``::
+
+    PYTHONPATH=src python benchmarks/bench_flow_kernel.py [--quick]
+
+or through pytest like the other benchmarks (quick scale).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.experiments import FlowKernelResult, exp_flow_kernel
+from repro.analysis.reporting import format_table
+
+FULL_SCALES = (6_000, 60_000, 600_000)
+QUICK_SCALES = (2_000, 6_000)
+FULL_SIM_BLOCKS = 4_000
+QUICK_SIM_BLOCKS = 1_000
+BUDGET_BLOCKS = 333_334  # x3 destination DCs ~= 10^6 (block, dst) pairs
+QUICK_BUDGET_BLOCKS = 20_000
+BUDGET_CAP = 20_000  # Eq. 3-style per-cycle selection cap
+
+RESULT_FORMAT_VERSION = 1
+
+COMBINED_SPEEDUP_FLOOR = 3.0
+BUDGET_DT_SECONDS = 3.0
+
+
+def result_payload(result: FlowKernelResult, quick: bool) -> dict:
+    """Flatten a :class:`FlowKernelResult` for ``BENCH_flow.json``."""
+    return {
+        "format_version": RESULT_FORMAT_VERSION,
+        "quick": quick,
+        "scale_points": [
+            {
+                "flows": p.flows,
+                "entries": p.entries,
+                "resources": p.resources,
+                "waterfill_scalar_s": p.waterfill_scalar_s,
+                "waterfill_vectorized_s": p.waterfill_vectorized_s,
+                "waterfill_speedup": p.waterfill_speedup,
+                "clip_scalar_s": p.clip_scalar_s,
+                "clip_vectorized_s": p.clip_vectorized_s,
+                "clip_speedup": p.clip_speedup,
+                "deliver_events": p.deliver_events,
+                "deliver_scalar_s": p.deliver_scalar_s,
+                "deliver_vectorized_s": p.deliver_vectorized_s,
+                "deliver_speedup": p.deliver_speedup,
+                "combined_speedup": p.combined_speedup,
+                "identical_results": p.identical_results,
+            }
+            for p in result.scale_points
+        ],
+        "kernel_combined_speedup": result.kernel_combined_speedup,
+        "simulation": {
+            "cycles": result.sim_cycles,
+            "deliveries": result.sim_deliveries,
+            "scalar_wall_s": result.run_scalar_s,
+            "vectorized_wall_s": result.run_vectorized_s,
+            "wall_speedup": result.run_speedup,
+            "rate_resolve": {
+                "scalar_s": result.rate_scalar_s,
+                "vectorized_s": result.rate_vectorized_s,
+                "speedup": result.rate_speedup,
+            },
+            "deliver": {
+                "scalar_s": result.deliver_scalar_s,
+                "vectorized_s": result.deliver_vectorized_s,
+                "speedup": result.deliver_speedup,
+            },
+            "deliver_apply": {
+                "scalar_s": result.apply_scalar_s,
+                "vectorized_s": result.apply_vectorized_s,
+            },
+            "combined_speedup": result.combined_speedup,
+        },
+        "dt_budget": {
+            "pending_pairs": result.budget_pairs,
+            "selection_cap": result.budget_cap,
+            "cycles": result.budget_cycles,
+            "worst_cycle_s": result.budget_worst_cycle_s,
+            "within_3s_dt": result.budget_within_dt,
+        },
+        "identical_results": result.identical_results,
+    }
+
+
+def format_report(result: FlowKernelResult) -> str:
+    rows = [
+        [
+            f"{p.flows}",
+            f"{p.waterfill_scalar_s:.3f}",
+            f"{p.waterfill_vectorized_s:.3f}",
+            f"{p.waterfill_speedup:.1f}x",
+            f"{p.clip_speedup:.1f}x",
+            f"{p.deliver_speedup:.1f}x",
+            f"{p.combined_speedup:.1f}x",
+        ]
+        for p in result.scale_points
+    ]
+    return (
+        f"[flow kernel] combined rate+deliver speedup at largest scale: "
+        f"{result.kernel_combined_speedup:.2f}x\n"
+        + format_table(
+            [
+                "flows",
+                "waterfill scalar (s)",
+                "vectorized (s)",
+                "waterfill",
+                "clip",
+                "deliver",
+                "combined",
+            ],
+            rows,
+        )
+        + f"\nsimulation A/B ({result.sim_cycles} cycles, "
+        f"{result.sim_deliveries} deliveries): "
+        f"rate_resolve {result.rate_scalar_s:.3f}s vs "
+        f"{result.rate_vectorized_s:.3f}s, deliver "
+        f"{result.deliver_scalar_s:.3f}s vs {result.deliver_vectorized_s:.3f}s "
+        f"(apply {result.apply_scalar_s:.3f}s vs "
+        f"{result.apply_vectorized_s:.3f}s) -> combined "
+        f"{result.combined_speedup:.2f}x\n"
+        f"dt budget: {result.budget_pairs} pairs, cap {result.budget_cap}, "
+        f"{result.budget_cycles} full cycles -> worst cycle "
+        f"{result.budget_worst_cycle_s:.3f}s "
+        f"(within 3s dt: {result.budget_within_dt})\n"
+        f"identical results: {result.identical_results}"
+    )
+
+
+def test_flow_kernel(benchmark, report):
+    """Pytest entry: quick-scale A/B; results must be bit-identical."""
+    result = benchmark.pedantic(
+        lambda: exp_flow_kernel(
+            scales=QUICK_SCALES,
+            sim_blocks=QUICK_SIM_BLOCKS,
+            seed=0,
+            budget_blocks=QUICK_BUDGET_BLOCKS,
+            budget_cap=5_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("\n" + format_report(result))
+    assert result.identical_results
+    # The >=3x combined floor and the 10^6-pair dt budget are asserted at
+    # full scale by the script / recorded in BENCH_flow.json; quick scale
+    # only checks bit-identical A/B and that the budget demo completes.
+    assert result.budget_within_dt
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scales for CI smoke runs (no speedup floors asserted)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_flow.json",
+        help="where to write the JSON result (default: ./BENCH_flow.json)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    result = exp_flow_kernel(
+        scales=QUICK_SCALES if args.quick else FULL_SCALES,
+        sim_blocks=QUICK_SIM_BLOCKS if args.quick else FULL_SIM_BLOCKS,
+        seed=args.seed,
+        budget_blocks=QUICK_BUDGET_BLOCKS if args.quick else BUDGET_BLOCKS,
+        budget_cap=5_000 if args.quick else BUDGET_CAP,
+    )
+    print(format_report(result))
+
+    payload = result_payload(result, quick=args.quick)
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+
+    if not result.identical_results:
+        print("FAIL: scalar and vectorized paths diverged", file=sys.stderr)
+        return 1
+    if args.quick:
+        return 0
+    failed = False
+    if result.kernel_combined_speedup < COMBINED_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: combined rate+deliver speedup "
+            f"{result.kernel_combined_speedup:.2f}x below the "
+            f"{COMBINED_SPEEDUP_FLOOR:.0f}x target",
+            file=sys.stderr,
+        )
+        failed = True
+    if not result.budget_within_dt:
+        print(
+            f"FAIL: worst 10^6-pair cycle took "
+            f"{result.budget_worst_cycle_s:.2f}s, over the "
+            f"{BUDGET_DT_SECONDS:.0f}s dt budget",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,12 +25,13 @@ from repro.net.simulator import CycleStats, SimResult
 
 PathLike = Union[str, Path]
 
-EXPORT_FORMAT_VERSION = 4
+EXPORT_FORMAT_VERSION = 5
 
 #: Versions :func:`result_from_dict` can restore. v3 payloads predate the
-#: routing-solver telemetry (iterations/phases/warm_start), which simply
-#: restores to the zero/empty defaults.
-_READABLE_VERSIONS = (3, 4)
+#: routing-solver telemetry (iterations/phases/warm_start) and v4 payloads
+#: predate the data-plane fields (stage ``deliver_apply``, per-cycle
+#: ``rate_stalemates``); both simply restore to the zero/empty defaults.
+_READABLE_VERSIONS = (3, 4, 5)
 
 
 def _resource_to_str(key) -> str:
@@ -93,7 +94,9 @@ def result_to_dict(result: SimResult, include_cycles: bool = True) -> Dict[str, 
                     "route": s.time_route,
                     "rate_resolve": s.time_rate_resolve,
                     "deliver": s.time_deliver,
+                    "deliver_apply": s.time_deliver_apply,
                 },
+                "rate_stalemates": s.rate_stalemates,
                 "routing_solver": {
                     "iterations": s.routing_iterations,
                     "phases": s.routing_phases,
@@ -121,7 +124,7 @@ class RestoredPossession:
 
 
 def result_from_dict(payload: Dict[str, Any]) -> SimResult:
-    """Rebuild a :class:`SimResult` from a format-v3/v4 export payload.
+    """Rebuild a :class:`SimResult` from a format-v3/v4/v5 export payload.
 
     The inverse of :func:`result_to_dict` for everything the analysis
     layer consumes: completion dicts (bit-identical — JSON round-trips
@@ -161,6 +164,8 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
                 time_route=stage.get("route", 0.0),
                 time_rate_resolve=stage.get("rate_resolve", 0.0),
                 time_deliver=stage.get("deliver", 0.0),
+                time_deliver_apply=stage.get("deliver_apply", 0.0),
+                rate_stalemates=entry.get("rate_stalemates", 0),
                 routing_iterations=solver.get("iterations", 0),
                 routing_phases=solver.get("phases", 0),
                 routing_warm_start=solver.get("warm_start", ""),

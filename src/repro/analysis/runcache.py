@@ -55,7 +55,11 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: vectorized scheduler + batched router) became the default store. The
 #: A/B harness asserts bit-identical results, but the default-config
 #: code path changed end to end, so cached runs are re-validated once.
-CACHE_CODE_VERSION = "sim-v3"
+#: sim-v4: the data plane went array-native too (vectorized waterfill/
+#: clip rate kernels + batched delivery application became the default).
+#: Same bit-identity story as sim-v3: results are asserted equal, but
+#: the default path is new, so cached runs are re-validated once.
+CACHE_CODE_VERSION = "sim-v4"
 
 
 def _topology_payload(topology: Topology) -> Dict[str, Any]:

@@ -86,13 +86,15 @@ def run_simulation(
     stop_when_complete: bool = True,
     links_of_interest: tuple = (),
     vectorized_store: bool = True,
+    vectorized_flow: bool = True,
 ) -> SimResult:
     """Run one strategy over the given jobs and return the result.
 
     Exposes every :class:`SimConfig` knob — including the
-    ``incremental_engine`` / ``vectorized_store`` A/B switches and the
-    Fig. 12c overhead model — so sweeps and the parallel engine can
-    exercise both engines without hand-building a :class:`Simulation`.
+    ``incremental_engine`` / ``vectorized_store`` / ``vectorized_flow``
+    A/B switches and the Fig. 12c overhead model — so sweeps and the
+    parallel engine can exercise both engines without hand-building a
+    :class:`Simulation`.
     """
     strategy = make_strategy(strategy_name, seed=seed, config=config)
     sim = Simulation(
@@ -110,6 +112,7 @@ def run_simulation(
             stop_when_complete=stop_when_complete,
             links_of_interest=tuple(links_of_interest),
             vectorized_store=vectorized_store,
+            vectorized_flow=vectorized_flow,
         ),
         background=background,
         failures=failures,

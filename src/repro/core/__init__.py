@@ -12,7 +12,12 @@ from repro.core.decisions import ControlDecision, ScheduledBlock
 from repro.core.scheduling import RarestFirstScheduler
 from repro.core.routing import BDSRouter, RoutingDiagnostics
 from repro.core.controller import BDSController
-from repro.core.bandwidth import BandwidthEnforcer, NetworkMonitor, residual_budget
+from repro.core.bandwidth import (
+    BandwidthEnforcer,
+    NetworkMonitor,
+    residual_budget,
+    residual_budgets,
+)
 from repro.core.fault import ControllerReplicaSet
 from repro.core.formulation import JointFormulation, StandardLPRouter
 from repro.core.speculation import DeliverySpeculator, SpeculatedView
@@ -35,6 +40,7 @@ __all__ = [
     "BandwidthEnforcer",
     "NetworkMonitor",
     "residual_budget",
+    "residual_budgets",
     "ControllerReplicaSet",
     "JointFormulation",
     "StandardLPRouter",

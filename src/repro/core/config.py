@@ -16,7 +16,18 @@ ROUTING_BACKENDS = ("fptas", "lp", "greedy")
 
 @dataclass
 class BDSConfig:
-    """Tunable parameters of the centralized control loop."""
+    """Tunable parameters of the centralized control loop.
+
+    ``cycle_seconds`` is the §5.2 ΔT the whole decide→deliver loop must
+    fit inside for centralized control to be feasible; the data-plane
+    benchmarks (``benchmarks/bench_flow_kernel.py``) measure full cycles
+    against exactly this budget. The per-directive rates the controller
+    assigns are enforced downstream by the shared rate kernel
+    (:func:`repro.net.flow.clip_rates_to_capacity`), which proportionally
+    scales any resource the (possibly stale, §5.1) allocation
+    oversubscribed — the controller itself never needs to re-check
+    physics.
+    """
 
     block_size: float = DEFAULT_BLOCK_SIZE
     cycle_seconds: float = 3.0

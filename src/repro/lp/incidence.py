@@ -40,7 +40,7 @@ uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -251,3 +251,136 @@ def build_incidence(
     if not commodities:
         return None
     return PathIncidence.build(commodities, capacities, strict=strict)
+
+
+def segment_mins(
+    values: np.ndarray,
+    starts: np.ndarray,
+    lens: np.ndarray,
+    default: float,
+) -> np.ndarray:
+    """Per-segment minima over CSR ``values``; empty segments yield ``default``.
+
+    ``np.minimum.reduceat`` returns ``values[starts[i]]`` for zero-length
+    segments — the wrong answer for an empty reduction — so empty segments
+    are masked out and filled with ``default`` explicitly. Dropping an
+    empty segment's start is safe: consecutive retained starts still
+    bracket exactly the non-empty segments' entries.
+    """
+    n = len(starts)
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    nonzero = lens > 0
+    if nonzero.all():
+        return np.minimum.reduceat(values, starts)
+    out = np.full(n, default, dtype=np.float64)
+    if values.size:
+        out[nonzero] = np.minimum.reduceat(values, starts[nonzero])
+    return out
+
+
+@dataclass
+class FlowIncidence:
+    """Compiled flow×resource incidence for the data-plane rate kernels.
+
+    The flow-level sibling of :class:`PathIncidence`, sharing its
+    interning contract: resources are interned in first-appearance order
+    over the given flows, duplicates within one flow's resource tuple are
+    preserved (a flow crossing a resource twice loads it twice), and an
+    unknown resource raises :class:`KeyError` at build time with the same
+    message the scalar allocators raise. Capacities are converted to
+    ``float64`` once at build; callers passing huge integer capacities
+    (>2^53) would lose the exact-int division the pure-Python path
+    performs, which no real input does (capacities are bytes/second).
+
+    Consumed by :func:`repro.net.flow.max_min_fair_rates_vectorized` and
+    :func:`repro.net.flow.clip_rates_to_capacity_vectorized`; both reduce
+    over the CSR layout with ``reduceat``/``bincount`` exactly like the
+    routing solvers reduce over :class:`PathIncidence`.
+    """
+
+    #: index → resource key, in first-appearance order.
+    res_keys: List[ResourceKey]
+    #: resource key → index (inverse of ``res_keys``).
+    res_index: Dict[ResourceKey, int]
+    #: per-resource capacity, ``float64``.
+    caps: np.ndarray
+    #: concatenated resource indices of all flows.
+    flat_res: np.ndarray
+    #: start offset of each flow's slice inside ``flat_res``.
+    starts: np.ndarray
+    #: number of resources on each flow.
+    lens: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        resource_seqs: Iterable[Sequence[ResourceKey]],
+        capacities: Mapping[ResourceKey, float],
+    ) -> "FlowIncidence":
+        """Compile per-flow resource tuples over ``capacities``.
+
+        Always strict: every referenced resource must exist in
+        ``capacities`` (callers that tolerate unknown resources — the
+        waterfill's zero-cap flows — simply exclude those flows from the
+        sequence, matching the scalar validation scope).
+        """
+        res_keys: List[ResourceKey] = []
+        res_index: Dict[ResourceKey, int] = {}
+        caps_list: List[float] = []
+        flat: List[int] = []
+        starts: List[int] = []
+        lens: List[int] = []
+        get = res_index.get
+        for seq in resource_seqs:
+            starts.append(len(flat))
+            lens.append(len(seq))
+            for res in seq:
+                idx = get(res)
+                if idx is None:
+                    if res not in capacities:
+                        raise KeyError(
+                            f"flow references unknown resource {res!r}"
+                        )
+                    idx = len(res_keys)
+                    res_index[res] = idx
+                    res_keys.append(res)
+                    caps_list.append(float(capacities[res]))
+                flat.append(idx)
+        return cls(
+            res_keys=res_keys,
+            res_index=res_index,
+            caps=np.asarray(caps_list, dtype=np.float64),
+            flat_res=np.asarray(flat, dtype=np.intp),
+            starts=np.asarray(starts, dtype=np.intp),
+            lens=np.asarray(lens, dtype=np.intp),
+        )
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.starts)
+
+    @property
+    def num_resources(self) -> int:
+        return len(self.res_keys)
+
+    def loads(self) -> np.ndarray:
+        """Per-resource incidence counts (how many flow entries touch it)."""
+        return np.bincount(self.flat_res, minlength=self.num_resources)
+
+    def flow_mins(self, per_resource: np.ndarray, default: float) -> np.ndarray:
+        """``min(per_resource[r] for r in flow)``, ``default`` if no resources."""
+        return segment_mins(
+            per_resource[self.flat_res], self.starts, self.lens, default
+        )
+
+    def usage(self, per_flow: np.ndarray) -> np.ndarray:
+        """Per-resource usage implied by per-flow rates.
+
+        ``bincount`` accumulates in entry order — the same partial-sum
+        order as the scalar dict loop, so the sums are bit-identical.
+        """
+        per_entry = np.repeat(per_flow, self.lens)
+        return np.bincount(
+            self.flat_res, weights=per_entry, minlength=self.num_resources
+        )

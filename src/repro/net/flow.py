@@ -9,6 +9,16 @@ Two allocation regimes are needed by the reproduction:
   :func:`clip_rates_to_capacity` then enforces physics by proportionally
   scaling down any resource that ended up oversubscribed (e.g. because the
   controller worked from slightly stale state, §5.1's non-blocking update).
+
+Both allocators exist in two bit-identical implementations: the original
+scalar dict loops, and array kernels over a CSR flow×resource incidence
+(:class:`repro.lp.incidence.FlowIncidence` — the same interning and
+``reduceat``/``bincount`` machinery the routing solvers use). The public
+entry points dispatch on ``vectorized`` and input size; the simulator
+routes its choice through ``SimConfig(vectorized_flow=...)``. The
+per-kernel bit-identity arguments live next to each vectorized step; the
+randomized equivalence suite in ``tests/test_flow_kernel.py`` asserts
+exact dict equality between the paths.
 """
 
 from __future__ import annotations
@@ -16,7 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.net.topology import ResourceKey
+
+#: Below this many flows the scalar loops win on constant factors, so the
+#: dispatchers fall back to them; results are bit-identical either way.
+VECTOR_MIN_FLOWS = 64
 
 
 @dataclass
@@ -44,9 +60,25 @@ class Flow:
         return cap
 
 
+@dataclass
+class FlowKernelStats:
+    """Diagnostics the rate kernels report back to their caller.
+
+    ``stalemates`` counts progressive-filling iterations that terminated
+    without freezing any flow — the numerical corner where no resource
+    saturates and no cap binds within tolerance, historically a silent
+    ``break``. The simulator surfaces the count per cycle through
+    ``CycleStats.rate_stalemates``.
+    """
+
+    stalemates: int = 0
+
+
 def max_min_fair_rates(
     flows: Sequence[Flow],
     capacities: Mapping[ResourceKey, float],
+    stats: Optional[FlowKernelStats] = None,
+    vectorized: bool = True,
 ) -> Dict[Hashable, float]:
     """Progressive-filling max-min fair allocation.
 
@@ -54,15 +86,34 @@ def max_min_fair_rates(
     through that resource freeze at their current rate, and the remaining
     flows keep growing. Flow-level caps (``rate_cap``/``demand``) are
     honoured: a flow freezes when it hits its own cap, releasing capacity
-    to the others. Runs in O(iterations × flows × path length); iterations
-    are bounded by the number of resources plus the number of flows.
+    to the others.
+
+    Dispatches between :func:`max_min_fair_rates_scalar` and
+    :func:`max_min_fair_rates_vectorized` (bit-identical results): the
+    array kernel only pays off past :data:`VECTOR_MIN_FLOWS` flows.
+    """
+    if vectorized and len(flows) >= VECTOR_MIN_FLOWS:
+        return max_min_fair_rates_vectorized(flows, capacities, stats)
+    return max_min_fair_rates_scalar(flows, capacities, stats)
+
+
+def max_min_fair_rates_scalar(
+    flows: Sequence[Flow],
+    capacities: Mapping[ResourceKey, float],
+    stats: Optional[FlowKernelStats] = None,
+) -> Dict[Hashable, float]:
+    """The scalar progressive-filling loop (dict bookkeeping).
+
+    Runs in O(iterations × flows × path length); iterations are bounded
+    by the number of resources plus the number of flows.
 
     The per-resource active-flow counts (``load``) only ever lose flows as
     the filling progresses, so they are maintained incrementally: each
     frozen flow decrements its resources' counts instead of the counts
     being rebuilt from every active flow each iteration. Allocations are
     bit-identical to the reference rebuild-every-iteration implementation
-    (kept as :func:`_max_min_fair_rates_reference` for the A/B benchmark).
+    (kept as :func:`_max_min_fair_rates_reference` for the A/B benchmark)
+    and to the array kernel (:func:`max_min_fair_rates_vectorized`).
     """
     rates: Dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
     active: List[Flow] = [f for f in flows if f.effective_cap() > 0]
@@ -109,7 +160,11 @@ def max_min_fair_rates(
             else:
                 still_active.append(flow)
         if not frozen:
-            # Numerical stalemate; freeze everything to terminate.
+            # Numerical stalemate: nothing saturated and nothing capped
+            # within tolerance. Freeze everything to terminate, and count
+            # the event so it is observable (CycleStats.rate_stalemates).
+            if stats is not None:
+                stats.stalemates += 1
             break
         for flow in frozen:
             for res in flow.resources:
@@ -117,6 +172,107 @@ def max_min_fair_rates(
                 if load[res] == 0:
                     del load[res]
         active = still_active
+    return rates
+
+
+def max_min_fair_rates_vectorized(
+    flows: Sequence[Flow],
+    capacities: Mapping[ResourceKey, float],
+    stats: Optional[FlowKernelStats] = None,
+) -> Dict[Hashable, float]:
+    """Array progressive filling over CSR flow×resource incidence.
+
+    Bit-identical to :func:`max_min_fair_rates_scalar`; every step of the
+    scalar loop has an exact array counterpart:
+
+    * the bottleneck increment ``min(residual/load)`` is a float minimum —
+      order-independent, so an array ``.min()`` equals the dict-iteration
+      ``min`` chain;
+    * the cap increment ``min(cap_i - level)`` equals ``min(cap_i) -
+      level`` because IEEE subtraction by a constant is monotone, so only
+      the running cap minimum is subtracted;
+    * per-resource residual updates subtract ``increment × load`` with
+      one elementwise multiply — the same two-operand IEEE ops, per
+      resource, as the scalar loop;
+    * flow freezing is boolean masking (``capped | saturated``) with
+      saturation detected by per-flow segment minima over residuals;
+    * load updates scatter-subtract each frozen flow's resource counts
+      (integer arithmetic — exact).
+
+    Duplicate ``flow_id`` values resolve like the scalar loop: the final
+    dict value is the freeze level of the longest-surviving duplicate
+    (levels are monotone, so that is the maximum).
+    """
+    # Imported lazily: repro.lp.__init__ imports repro.lp.mcf, which
+    # imports repro.net.topology, which triggers repro.net.__init__ →
+    # this module — an eager import here would close that cycle onto a
+    # partially-initialized repro.lp.mcf.
+    from repro.lp.incidence import FlowIncidence, segment_mins
+
+    rates: Dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
+    active: List[Flow] = [f for f in flows if f.effective_cap() > 0]
+    if not active:
+        return rates
+
+    # Only active flows are compiled (and therefore validated) — the
+    # scalar loop likewise never looks at a zero-cap flow's resources.
+    inc = FlowIncidence.build((f.resources for f in active), capacities)
+    residual = inc.caps.copy()
+    load = inc.loads()  # int64: exact scatter arithmetic
+    num_res = residual.size
+
+    act_flat = inc.flat_res
+    act_lens = inc.lens
+    act_caps = np.array([f.effective_cap() for f in active], dtype=np.float64)
+    act_ids = np.arange(len(active), dtype=np.intp)
+    final_level = np.zeros(len(active), dtype=np.float64)
+    level = 0.0
+
+    while act_ids.size:
+        pos = load > 0
+        if pos.any():
+            inc_res = (residual[pos] / load[pos]).min()
+        else:
+            inc_res = np.inf
+        increment = min(inc_res, act_caps.min() - level)
+        if increment == float("inf"):
+            raise ValueError("unbounded allocation: no capacities bind any flow")
+        increment = float(max(increment, 0.0))
+
+        level += increment
+        residual[pos] -= increment * load[pos]
+        np.maximum(residual, 0.0, out=residual)  # numerical dust
+
+        capped = (act_caps - level) <= 1e-12
+        act_starts = np.concatenate(
+            ([0], np.cumsum(act_lens[:-1]))
+        ) if act_lens.size else act_lens
+        saturated = (
+            segment_mins(residual[act_flat], act_starts, act_lens, np.inf)
+            <= 1e-9
+        )
+        frozen = capped | saturated
+        if not frozen.any():
+            # Numerical stalemate (see the scalar loop): freeze the
+            # remaining flows at the current level and count the event.
+            if stats is not None:
+                stats.stalemates += 1
+            final_level[act_ids] = level
+            break
+        final_level[act_ids[frozen]] = level
+
+        entry_frozen = np.repeat(frozen, act_lens)
+        load -= np.bincount(act_flat[entry_frozen], minlength=num_res)
+        keep = ~frozen
+        act_flat = act_flat[~entry_frozen]
+        act_lens = act_lens[keep]
+        act_caps = act_caps[keep]
+        act_ids = act_ids[keep]
+
+    for i, flow in enumerate(active):
+        r = final_level[i]
+        if r > rates[flow.flow_id]:
+            rates[flow.flow_id] = float(r)
     return rates
 
 
@@ -180,6 +336,7 @@ def clip_rates_to_capacity(
     flows: Sequence[Flow],
     requested: Mapping[Hashable, float],
     capacities: Mapping[ResourceKey, float],
+    vectorized: bool = True,
 ) -> Dict[Hashable, float]:
     """Scale requested rates so no resource is oversubscribed.
 
@@ -188,7 +345,21 @@ def clip_rates_to_capacity(
     dropping); a flow crossing several oversubscribed resources gets the
     most restrictive factor. One pass is sufficient because scaling only
     ever decreases loads.
+
+    Dispatches between :func:`clip_rates_to_capacity_scalar` and
+    :func:`clip_rates_to_capacity_vectorized` (bit-identical results).
     """
+    if vectorized and len(flows) >= VECTOR_MIN_FLOWS:
+        return clip_rates_to_capacity_vectorized(flows, requested, capacities)
+    return clip_rates_to_capacity_scalar(flows, requested, capacities)
+
+
+def clip_rates_to_capacity_scalar(
+    flows: Sequence[Flow],
+    requested: Mapping[Hashable, float],
+    capacities: Mapping[ResourceKey, float],
+) -> Dict[Hashable, float]:
+    """The scalar one-pass clip (dict bookkeeping)."""
     usage: Dict[ResourceKey, float] = {}
     for flow in flows:
         r = requested.get(flow.flow_id, 0.0)
@@ -206,6 +377,40 @@ def clip_rates_to_capacity(
         factor = min((scale[res] for res in flow.resources), default=1.0)
         result[flow.flow_id] = r * factor
     return result
+
+
+def clip_rates_to_capacity_vectorized(
+    flows: Sequence[Flow],
+    requested: Mapping[Hashable, float],
+    capacities: Mapping[ResourceKey, float],
+) -> Dict[Hashable, float]:
+    """Array one-pass clip over CSR flow×resource incidence.
+
+    Bit-identical to :func:`clip_rates_to_capacity_scalar`: per-resource
+    usage accumulates via ``bincount`` in the same entry order as the
+    scalar dict loop (identical partial sums), the scale factors apply
+    the same ``cap / used`` guard elementwise, and each flow's factor is
+    a segment minimum over its resources (order-independent). Unlike the
+    waterfill, *every* flow's resources are validated — the scalar clip
+    builds usage over all flows, zero-rate ones included.
+    """
+    from repro.lp.incidence import FlowIncidence  # see the waterfill note
+
+    if not flows:
+        return {}
+    inc = FlowIncidence.build((f.resources for f in flows), capacities)
+    r = np.fromiter(
+        (requested.get(f.flow_id, 0.0) for f in flows),
+        dtype=np.float64,
+        count=len(flows),
+    )
+    usage = inc.usage(r)
+    scale = np.ones(inc.num_resources, dtype=np.float64)
+    over = (usage > inc.caps) & (usage > 0)
+    scale[over] = inc.caps[over] / usage[over]
+    factor = inc.flow_mins(scale, default=1.0)
+    vals = r * factor
+    return {f.flow_id: float(vals[i]) for i, f in enumerate(flows)}
 
 
 def resource_utilization(

@@ -27,7 +27,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.net.background import BackgroundTraffic, delay_inflation
 from repro.net.cycle_cache import CycleCache
 from repro.net.failures import FailureSchedule
-from repro.net.flow import Flow, clip_rates_to_capacity, max_min_fair_rates
+from repro.net.flow import (
+    Flow,
+    FlowKernelStats,
+    clip_rates_to_capacity,
+    max_min_fair_rates,
+)
 from repro.net.topology import ResourceKey, Topology
 from repro.overlay.blocks import Block
 from repro.overlay.job import MulticastJob
@@ -36,6 +41,11 @@ from repro.utils.rng import SeedLike, make_rng
 from repro.utils.validation import check_fraction, check_positive
 
 BlockId = Tuple[str, int]
+
+#: Below this many completed deliveries in a cycle the grouped numpy pass
+#: costs more than per-pair application; results are bit-identical either
+#: way, so small batches replay through the scalar path.
+_DELIVERY_BATCH_MIN = 32
 
 
 @dataclass(frozen=True)
@@ -103,6 +113,16 @@ class SimConfig:
     # the determinism A/B tests; selections and directives are
     # bit-identical either way.
     vectorized_store: bool = True
+    # Array-native data plane: resolve flow rates with the vectorized
+    # waterfill/clip kernels (repro.net.flow) and apply each cycle's
+    # completed deliveries as one grouped possession pass
+    # (store.record_deliveries) instead of per-pair dict updates. False
+    # reverts to the scalar kernels and per-delivery bookkeeping — kept
+    # as the in-tree baseline for the flow-kernel benchmark and the
+    # determinism A/B tests; allocations and results are bit-identical
+    # either way. Batched delivery additionally needs the matrix store
+    # (vectorized_store=True); without it deliveries stay per-pair.
+    vectorized_flow: bool = True
 
     def __post_init__(self) -> None:
         check_positive("cycle_seconds", self.cycle_seconds)
@@ -148,6 +168,13 @@ class CycleStats:
     time_route: float = 0.0
     time_rate_resolve: float = 0.0
     time_deliver: float = 0.0
+    # Portion of time_deliver spent applying completed deliveries to the
+    # possession store and completion bookkeeping (batched or per-pair);
+    # the remainder of time_deliver is budget-loop simulator overhead.
+    time_deliver_apply: float = 0.0
+    # Progressive-filling iterations this cycle that terminated without
+    # freezing any flow (numerical stalemate — see repro.net.flow).
+    rate_stalemates: int = 0
     # Routing-solver telemetry, forwarded from the strategy's decision
     # record when it reports one (the FPTAS backend; zero/empty for
     # greedy/LP and for decentralized baselines).
@@ -204,6 +231,7 @@ class SimResult:
             "route": 0.0,
             "rate_resolve": 0.0,
             "deliver": 0.0,
+            "deliver_apply": 0.0,
         }
         for s in self.cycle_stats:
             totals["view_build"] += s.time_view_build
@@ -212,7 +240,12 @@ class SimResult:
             totals["route"] += s.time_route
             totals["rate_resolve"] += s.time_rate_resolve
             totals["deliver"] += s.time_deliver
+            totals["deliver_apply"] += s.time_deliver_apply
         return totals
+
+    def total_rate_stalemates(self) -> int:
+        """Waterfill stalemate iterations across the run (diagnostic)."""
+        return sum(s.rate_stalemates for s in self.cycle_stats)
 
     def total_bytes_transferred(self) -> float:
         """Bytes moved across all flows over the whole run."""
@@ -661,8 +694,13 @@ class Simulation:
 
         self._blocks_by_id: Dict[BlockId, Block] = {}
         self._origin_dc: Dict[str, str] = {}
+        # Job lookup for the delivery bookkeeping: _deliver used to do an
+        # O(jobs) linear scan per completed DC. First-wins like the scan,
+        # should duplicate job ids ever appear.
+        self._jobs_by_id: Dict[str, MulticastJob] = {}
         for job in self.jobs:
             self._origin_dc[job.job_id] = job.src_dc
+            self._jobs_by_id.setdefault(job.job_id, job)
             for block in job.blocks:
                 self._blocks_by_id[block.block_id] = block
 
@@ -942,6 +980,7 @@ class Simulation:
                 )
             directives = routed
 
+            kernel_stats = FlowKernelStats()
             if uses_rates and controller_ok:
                 requested = {
                     f.flow_id: min(f.effective_cap(), float("inf")) for f in flows
@@ -950,14 +989,32 @@ class Simulation:
                 for f in flows:
                     if requested[f.flow_id] == float("inf"):
                         requested[f.flow_id] = f.demand or 0.0
-                rates = clip_rates_to_capacity(flows, requested, bulk_caps)
+                rates = clip_rates_to_capacity(
+                    flows, requested, bulk_caps, vectorized=cfg.vectorized_flow
+                )
             else:
-                rates = max_min_fair_rates(flows, bulk_caps)
+                rates = max_min_fair_rates(
+                    flows,
+                    bulk_caps,
+                    stats=kernel_stats,
+                    vectorized=cfg.vectorized_flow,
+                )
             deliver_started = _time.perf_counter()
             time_rate_resolve = deliver_started - rate_started
 
             delivered = 0
             transferred = 0.0
+            apply_seconds = 0.0
+            # Batched delivery: completed transfers queue up during the
+            # budget loop and land on the store/bookkeeping in one grouped
+            # pass afterwards. The budget loop never reads anything
+            # _deliver mutates (store, pending maps, completion dicts), so
+            # deferring the application is order-equivalent. Needs the
+            # matrix store for the grouped bit pass.
+            batch_deliver = (
+                cfg.vectorized_flow and self.store.matrix is not None
+            )
+            events: List[Tuple[str, Block, str, str, float]] = []
             current_pairs: Set[Tuple[str, str]] = set()
             for i, d in enumerate(directives):
                 rate = rates.get(i, 0.0)
@@ -990,20 +1047,52 @@ class Simulation:
                         self._partial.pop(key, None)
                         setup = dt - window
                         finish = now + setup + (used / rate if rate > 0 else dt)
-                        self._deliver(
-                            d.job_id,
-                            block,
-                            d.src_server,
-                            d.dst_server,
-                            min(finish, now + dt),
-                            job_completion,
-                            dc_completion,
-                            server_completion,
-                        )
+                        when = min(finish, now + dt)
+                        if batch_deliver:
+                            events.append(
+                                (d.job_id, block, d.src_server, d.dst_server, when)
+                            )
+                        else:
+                            apply_started = _time.perf_counter()
+                            self._deliver(
+                                d.job_id,
+                                block,
+                                d.src_server,
+                                d.dst_server,
+                                when,
+                                job_completion,
+                                dc_completion,
+                                server_completion,
+                            )
+                            apply_seconds += (
+                                _time.perf_counter() - apply_started
+                            )
                         delivered += 1
                     else:
                         self._partial[key] = have + take
                 transferred += used
+
+            if events:
+                apply_started = _time.perf_counter()
+                if len(events) < _DELIVERY_BATCH_MIN:
+                    # Tiny batches: the numpy pass costs more than it
+                    # saves; replay per pair (bit-identical either way).
+                    for job_id, block, src, dst, when in events:
+                        self._deliver(
+                            job_id,
+                            block,
+                            src,
+                            dst,
+                            when,
+                            job_completion,
+                            dc_completion,
+                            server_completion,
+                        )
+                else:
+                    self._apply_deliveries(
+                        events, job_completion, dc_completion, server_completion
+                    )
+                apply_seconds += _time.perf_counter() - apply_started
 
             time_schedule = decide_runtime
             time_route = 0.0
@@ -1036,6 +1125,8 @@ class Simulation:
                 time_route=time_route,
                 time_rate_resolve=time_rate_resolve,
                 time_deliver=_time.perf_counter() - deliver_started,
+                time_deliver_apply=apply_seconds,
+                rate_stalemates=kernel_stats.stalemates,
                 routing_iterations=routing_iterations,
                 routing_phases=routing_phases,
                 routing_warm_start=routing_warm_start,
@@ -1089,6 +1180,64 @@ class Simulation:
 
     # -- delivery bookkeeping -----------------------------------------------------
 
+    def _apply_deliveries(
+        self,
+        events: List[Tuple[str, Block, str, str, float]],
+        job_completion: Dict[str, float],
+        dc_completion: Dict[Tuple[str, str], float],
+        server_completion: Dict[Tuple[str, str], float],
+    ) -> None:
+        """Apply one cycle's completed transfers as a grouped pass.
+
+        Splits :meth:`_deliver` into (a) one batched possession and
+        provenance update via ``store.record_deliveries`` and (b) the
+        pending/server-missing/completion bookkeeping, replayed per event
+        in delivery order. The split is exact: the bookkeeping below
+        never reads the store, so landing every bit first is
+        indistinguishable from interleaving, and duplicate deliveries
+        still run their (idempotent) bookkeeping exactly as the scalar
+        path does.
+        """
+        origin = self._origin_dc
+        self.store.record_deliveries(
+            [
+                (block, src, dst, when, origin[job_id])
+                for job_id, block, src, dst, when in events
+            ]
+        )
+        dc_of = self.store.dc_of
+        relay_map = self._relay_pending
+        pending_map = self._pending
+        server_missing = self._server_missing
+        jobs_by_id = self._jobs_by_id
+        has_relays = bool(relay_map)
+        for job_id, block, _src, dst, when in events:
+            dst_dc = dc_of(dst)
+            bid = block.block_id
+            if has_relays:
+                relay_pending = relay_map.get((job_id, dst_dc))
+                if relay_pending is not None:
+                    relay_pending.discard(bid)
+            pending = pending_map.get((job_id, dst_dc))
+            if pending is None:
+                continue  # delivery to a relay DC: not completion-tracked
+            entry = (bid, dst)
+            if entry not in pending:
+                continue  # landed on a non-assigned server of a dest DC
+            pending.discard(entry)
+            skey = (job_id, dst)
+            remaining = server_missing[skey] - 1
+            server_missing[skey] = remaining
+            if remaining == 0:
+                server_completion[skey] = when
+            if not pending:
+                dc_completion[(job_id, dst_dc)] = when
+                job = jobs_by_id[job_id]
+                if all((job_id, dc) in dc_completion for dc in job.dst_dcs):
+                    job_completion[job_id] = max(
+                        dc_completion[(job_id, dc)] for dc in job.dst_dcs
+                    )
+
     def _deliver(
         self,
         job_id: str,
@@ -1120,7 +1269,7 @@ class Simulation:
             server_completion[skey] = when
         if not pending:
             dc_completion[(job_id, dst_dc)] = when
-            job = next(j for j in self.jobs if j.job_id == job_id)
+            job = self._jobs_by_id[job_id]
             if all((job_id, dc) in dc_completion for dc in job.dst_dcs):
                 job_completion[job_id] = max(
                     dc_completion[(job_id, dc)] for dc in job.dst_dcs

@@ -38,6 +38,7 @@ from typing import (
     Mapping,
     Optional,
     AbstractSet,
+    Sequence,
     Set,
     Tuple,
 )
@@ -223,6 +224,38 @@ class PossessionMatrix:
         self.dc_counts[self.server_dc_list[sid]][new_gids] += 1
         return int(new_gids.size)
 
+    def record_deliveries(self, sids: np.ndarray, gids: np.ndarray) -> np.ndarray:
+        """Set possession bits for parallel (server, block) arrays.
+
+        The batched counterpart of per-pair :meth:`set_bit` for one
+        cycle's deliveries, which may span many destination rows. Returns
+        a boolean mask of which pairs were *newly* set; pairs already
+        held — or repeated within the batch, where only the first
+        occurrence wins — come back ``False``, exactly as a sequential
+        ``set_bit`` loop would report. The bits land with one
+        ``bitwise_or.at`` scatter (repeated words are safe) and the
+        duplicate/DC counters advance with ``add.at`` scatter-adds
+        (repeated columns accumulate).
+        """
+        fresh = ~self.test_many(sids, gids)
+        if fresh.any():
+            # First-occurrence dedupe inside the batch: two deliveries of
+            # the same (server, block) pair in one cycle must register as
+            # one new bit plus one duplicate, in that order.
+            pair = sids * np.int64(self._capacity) + gids
+            _vals, first = np.unique(pair, return_index=True)
+            is_first = np.zeros(len(pair), dtype=bool)
+            is_first[first] = True
+            fresh &= is_first
+            rows = sids[fresh]
+            cols = gids[fresh]
+            flat_idx = rows * self._words + (cols >> 6)
+            masks = np.uint64(1) << (cols & 63).astype(np.uint64)
+            np.bitwise_or.at(self._flat, flat_idx, masks)
+            np.add.at(self.dup, cols, 1)
+            np.add.at(self.dc_counts, (self.server_dc_ids[rows], cols), 1)
+        return fresh
+
     def clear_row(self, sid: int) -> int:
         """Drop every block on one server; returns how many were held."""
         held = self.row_gids(sid)
@@ -353,6 +386,67 @@ class PossessionIndex:
         )
         self.deliveries.append(record)
         return record
+
+    def record_deliveries(
+        self,
+        events: Sequence[Tuple[Block, str, str, float, str]],
+    ) -> List[Optional[DeliveryRecord]]:
+        """Batch :meth:`record_delivery`: one grouped possession pass.
+
+        ``events`` is a sequence of ``(block, src_server, dst_server,
+        time, origin_dc)`` tuples — the same arguments, applied in order.
+        Returns a list aligned with ``events``: the fresh
+        :class:`DeliveryRecord` per new possession, ``None`` for
+        duplicates (a destination that already held the block, or a later
+        repeat of the same pair within the batch). Provenance records
+        append in event order and the epoch advances once per new copy —
+        byte-identical bookkeeping to the sequential loop.
+
+        With the matrix backing, destination servers are resolved (and
+        unknown ones rejected) *before* any bit lands, so a bad event
+        fails the whole batch instead of a prefix — the one deliberate
+        divergence from looping :meth:`record_delivery`, which would
+        apply events preceding the bad one.
+        """
+        matrix = self.matrix
+        if matrix is None:
+            return [self.record_delivery(*event) for event in events]
+        n = len(events)
+        out: List[Optional[DeliveryRecord]] = [None] * n
+        if n == 0:
+            return out
+        sids = np.empty(n, dtype=np.int64)
+        gids = np.empty(n, dtype=np.int64)
+        server_ids = matrix.server_ids
+        gid_map = matrix.block_gids
+        intern = matrix.intern
+        for k, (block, _src, dst, _when, _origin) in enumerate(events):
+            sid = server_ids.get(dst)
+            if sid is None:
+                raise KeyError(f"unknown server {dst!r}")
+            sids[k] = sid
+            bid = block.block_id
+            gid = gid_map.get(bid)
+            gids[k] = intern(bid) if gid is None else gid
+        fresh = matrix.record_deliveries(sids, gids)
+        count = int(np.count_nonzero(fresh))
+        if count == 0:
+            return out
+        self.epoch += count
+        server_dc = self._server_dc
+        append = self.deliveries.append
+        for k in np.flatnonzero(fresh):
+            block, src, dst, when, origin = events[k]
+            record = DeliveryRecord(
+                block_id=block.block_id,
+                src_server=src,
+                dst_server=dst,
+                time=when,
+                from_origin_dc=server_dc[src] == origin,
+            )
+            out[k] = record
+            append(record)
+        return out
 
     def _add(self, block_id: BlockId, server_id: str) -> None:
         matrix = self.matrix
