@@ -1,0 +1,278 @@
+"""Event-engine A/B — decision reuse + fast-forward vs the fixed-tick loop.
+
+Three horizon scales, all with bit-identity asserted between arms via
+:meth:`SimResult.fingerprint`:
+
+* **steady-short** — a single steady drain over ~2 simulated hours; the
+  warm-up scale where per-run overheads still matter.
+* **steady-day** — the same drain stretched to a 24 h horizon (28,800
+  cycles at ΔT = 3 s). Long constant-rate stretches are the event
+  engine's home turf; this is the headline ≥50× wall-clock claim.
+* **diurnal-24h** — a full day of diurnally-modulated Poisson arrivals
+  with a flash crowd, over stepped diurnal background traffic. Quiet
+  valleys fast-forward, busy peaks execute; the scenario a fixed-tick
+  loop cannot finish interactively.
+
+Run as a script to emit ``BENCH_event.json``::
+
+    PYTHONPATH=src python benchmarks/bench_event_engine.py [--quick]
+
+or through pytest like the other benchmarks (quick scale).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.analysis.runner import make_strategy
+from repro.net.background import BackgroundTraffic
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import GB, MB, MBps
+from repro.workload.generator import WorkloadGenerator, to_jobs
+
+RESULT_FORMAT_VERSION = 1
+SEED = 18
+DT = 3.0
+DAY_CYCLES = 28_800  # 24 h at the paper's 3 s update interval
+
+#: Acceptance floor for the steady day-scale run (full mode only).
+STEADY_DAY_SPEEDUP_FLOOR = 50.0
+
+
+def _steady_scenario(max_cycles: int, event_engine: bool) -> Simulation:
+    """One long constant-rate drain sized to occupy ~90% of the horizon."""
+    topo = Topology.full_mesh(
+        num_dcs=3, servers_per_dc=2, wan_capacity=2 * MBps, uplink=1 * MBps
+    )
+    # Effective delivered throughput of this mesh is ~2 MB/s across both
+    # destinations; size the job to keep flows draining most of the run.
+    total = 0.9 * max_cycles * DT * 1 * MBps
+    job = MulticastJob(
+        job_id="steady",
+        src_dc="dc0",
+        dst_dcs=("dc1", "dc2"),
+        total_bytes=total,
+        block_size=min(1 * GB, max(16 * MB, total / 80)),
+    )
+    job.bind(topo)
+    return Simulation(
+        topology=topo,
+        jobs=[job],
+        strategy=make_strategy("direct", seed=SEED),
+        config=SimConfig(
+            max_cycles=max_cycles, cycle_seconds=DT, event_engine=event_engine
+        ),
+        seed=SEED,
+    )
+
+
+def _diurnal_scenario(max_cycles: int, event_engine: bool) -> Simulation:
+    """A day of diurnal arrivals + flash crowd over stepped background."""
+    horizon_s = max_cycles * DT
+    dc_names = [f"dc{i}" for i in range(5)]
+    topo = Topology.full_mesh(
+        num_dcs=5, servers_per_dc=2, wan_capacity=50 * MBps, uplink=25 * MBps
+    )
+    generator = WorkloadGenerator(
+        dc_names, seed=SEED, mean_interarrival_s=horizon_s / 30.0
+    )
+    requests = generator.generate_diurnal(
+        duration_s=0.9 * horizon_s,
+        diurnal_amplitude=0.6,
+        flash_crowd_at=0.55,
+        flash_crowd_size=8,
+    )
+    jobs = to_jobs(
+        requests,
+        topo,
+        block_size=16 * MB,
+        size_scale=1e-4,
+        relative_arrivals=False,
+    )
+    # The trace size CDF has a heavy tail; clamp so a single tail job
+    # cannot dominate the whole day (the benchmark measures the engine,
+    # not one 10 GB transfer).
+    clamped = []
+    for job in jobs:
+        if job.total_bytes > 512 * MB:
+            job = MulticastJob(
+                job_id=job.job_id,
+                src_dc=job.src_dc,
+                dst_dcs=job.dst_dcs,
+                total_bytes=512 * MB,
+                block_size=job.block_size,
+                arrival_time=job.arrival_time,
+            )
+            job.bind(topo)
+        clamped.append(job)
+    jobs = clamped
+    background = BackgroundTraffic(
+        base_fraction=0.25,
+        diurnal_fraction=0.2,
+        noise_fraction=0.03,
+        seed=SEED,
+        step_seconds=1800.0,  # 30 min steps: 600-cycle constant stretches
+    )
+    return Simulation(
+        topology=topo,
+        jobs=jobs,
+        strategy=make_strategy("bds", seed=SEED),
+        config=SimConfig(
+            max_cycles=max_cycles, cycle_seconds=DT, event_engine=event_engine
+        ),
+        background=background,
+        seed=SEED,
+    )
+
+
+def _measure(name: str, factory, max_cycles: int) -> dict:
+    """Run one scale point with both engines and compare fingerprints."""
+    t0 = time.perf_counter()
+    event = factory(max_cycles, True).run()
+    event_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    tick = factory(max_cycles, False).run()
+    tick_s = time.perf_counter() - t0
+    return {
+        "scale": name,
+        "horizon_cycles": max_cycles,
+        "horizon_hours": max_cycles * DT / 3600.0,
+        "cycles_run": event.cycles_run,
+        "all_complete": event.all_complete,
+        "cycles_decision_reused": event.cycles_decision_reused,
+        "cycles_fast_forwarded": event.cycles_fast_forwarded,
+        "event_wall_s": event_s,
+        "tick_wall_s": tick_s,
+        "speedup": tick_s / event_s if event_s > 0 else float("inf"),
+        "identical_results": event.fingerprint() == tick.fingerprint(),
+    }
+
+
+def run_benchmark(quick: bool) -> dict:
+    if quick:
+        points = [
+            ("steady-short", _steady_scenario, 600),
+            ("steady-day", _steady_scenario, 2_880),
+            ("diurnal-24h", _diurnal_scenario, 2_880),
+        ]
+    else:
+        points = [
+            ("steady-short", _steady_scenario, 2_400),
+            ("steady-day", _steady_scenario, DAY_CYCLES),
+            ("diurnal-24h", _diurnal_scenario, DAY_CYCLES),
+        ]
+    scales = [_measure(*p) for p in points]
+    by_name = {s["scale"]: s for s in scales}
+    return {
+        "format_version": RESULT_FORMAT_VERSION,
+        "quick": quick,
+        "dt_seconds": DT,
+        "scales": scales,
+        "steady_day_speedup": by_name["steady-day"]["speedup"],
+        "diurnal_24h_event_wall_s": by_name["diurnal-24h"]["event_wall_s"],
+        "identical_results": all(s["identical_results"] for s in scales),
+    }
+
+
+def format_report(payload: dict) -> str:
+    rows = [
+        [
+            s["scale"],
+            f"{s['horizon_cycles']}",
+            f"{s['horizon_hours']:.1f}h",
+            f"{s['cycles_decision_reused']}",
+            f"{s['cycles_fast_forwarded']}",
+            f"{s['event_wall_s']:.3f}",
+            f"{s['tick_wall_s']:.3f}",
+            f"{s['speedup']:.1f}x",
+            str(s["identical_results"]),
+        ]
+        for s in payload["scales"]
+    ]
+    return (
+        f"[event engine] steady day-scale speedup: "
+        f"{payload['steady_day_speedup']:.1f}x, 24h diurnal in "
+        f"{payload['diurnal_24h_event_wall_s']:.2f}s\n"
+        + format_table(
+            [
+                "scale",
+                "cycles",
+                "horizon",
+                "reused",
+                "ffwd",
+                "event (s)",
+                "tick (s)",
+                "speedup",
+                "identical",
+            ],
+            rows,
+        )
+        + f"\nidentical results: {payload['identical_results']}"
+    )
+
+
+def test_event_engine(benchmark, report):
+    """Pytest entry: quick-scale A/B; results must be bit-identical."""
+    payload = benchmark.pedantic(
+        lambda: run_benchmark(quick=True), rounds=1, iterations=1
+    )
+    report("\n" + format_report(payload))
+    assert payload["identical_results"]
+    for s in payload["scales"]:
+        assert s["cycles_fast_forwarded"] > 0
+    # The >=50x steady day-scale floor is asserted at full scale by the
+    # script / recorded in BENCH_event.json; quick scale only checks the
+    # A/B bit-identity and that fast-forward engages everywhere.
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small horizons for CI smoke runs (no speedup floor asserted)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_event.json",
+        help="where to write the JSON result (default: ./BENCH_event.json)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(quick=args.quick)
+    print(format_report(payload))
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"results written to {args.output}")
+
+    if not payload["identical_results"]:
+        print("FAIL: engines disagree on at least one scale", file=sys.stderr)
+        return 1
+    if not args.quick:
+        if payload["steady_day_speedup"] < STEADY_DAY_SPEEDUP_FLOOR:
+            print(
+                f"FAIL: steady day-scale speedup "
+                f"{payload['steady_day_speedup']:.1f}x below "
+                f"{STEADY_DAY_SPEEDUP_FLOOR:.0f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        diurnal = next(
+            s for s in payload["scales"] if s["scale"] == "diurnal-24h"
+        )
+        if not diurnal["all_complete"]:
+            print("FAIL: 24h diurnal scenario did not complete", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,13 +25,16 @@ from repro.net.simulator import CycleStats, SimResult
 
 PathLike = Union[str, Path]
 
-EXPORT_FORMAT_VERSION = 5
+EXPORT_FORMAT_VERSION = 6
 
 #: Versions :func:`result_from_dict` can restore. v3 payloads predate the
-#: routing-solver telemetry (iterations/phases/warm_start) and v4 payloads
+#: routing-solver telemetry (iterations/phases/warm_start), v4 payloads
 #: predate the data-plane fields (stage ``deliver_apply``, per-cycle
-#: ``rate_stalemates``); both simply restore to the zero/empty defaults.
-_READABLE_VERSIONS = (3, 4, 5)
+#: ``rate_stalemates``), and v5 payloads predate the event-engine
+#: accounting (per-cycle ``decision_reused``/``fast_forwarded``, top-level
+#: ``cycles_decision_reused``/``cycles_fast_forwarded``); all simply
+#: restore to the zero/false defaults.
+_READABLE_VERSIONS = (3, 4, 5, 6)
 
 
 def _resource_to_str(key) -> str:
@@ -69,6 +72,8 @@ def result_to_dict(result: SimResult, include_cycles: bool = True) -> Dict[str, 
         ],
         "origin_fraction_by_server": result.store.origin_fraction_by_server(),
         "total_bytes_transferred": result.total_bytes_transferred(),
+        "cycles_decision_reused": result.cycles_decision_reused,
+        "cycles_fast_forwarded": result.cycles_fast_forwarded,
     }
     if include_cycles:
         payload["cycles"] = [
@@ -102,6 +107,8 @@ def result_to_dict(result: SimResult, include_cycles: bool = True) -> Dict[str, 
                     "phases": s.routing_phases,
                     "warm_start": s.routing_warm_start,
                 },
+                "decision_reused": s.decision_reused,
+                "fast_forwarded": s.fast_forwarded,
             }
             for s in result.cycle_stats
         ]
@@ -124,7 +131,7 @@ class RestoredPossession:
 
 
 def result_from_dict(payload: Dict[str, Any]) -> SimResult:
-    """Rebuild a :class:`SimResult` from a format-v3/v4/v5 export payload.
+    """Rebuild a :class:`SimResult` from a format-v3..v6 export payload.
 
     The inverse of :func:`result_to_dict` for everything the analysis
     layer consumes: completion dicts (bit-identical — JSON round-trips
@@ -169,6 +176,8 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
                 routing_iterations=solver.get("iterations", 0),
                 routing_phases=solver.get("phases", 0),
                 routing_warm_start=solver.get("warm_start", ""),
+                decision_reused=entry.get("decision_reused", False),
+                fast_forwarded=entry.get("fast_forwarded", False),
             )
         )
     return SimResult(
@@ -186,6 +195,8 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
         cycle_stats=cycle_stats,
         store=RestoredPossession(payload.get("origin_fraction_by_server", {})),
         all_complete=payload["all_complete"],
+        cycles_decision_reused=payload.get("cycles_decision_reused", 0),
+        cycles_fast_forwarded=payload.get("cycles_fast_forwarded", 0),
     )
 
 

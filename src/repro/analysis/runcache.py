@@ -59,7 +59,11 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: clip rate kernels + batched delivery application became the default).
 #: Same bit-identity story as sim-v3: results are asserted equal, but
 #: the default path is new, so cached runs are re-validated once.
-CACHE_CODE_VERSION = "sim-v4"
+#: sim-v5: the event-driven core (decision reuse + multi-cycle
+#: fast-forward) became the default engine and exports moved to format
+#: v6. Fingerprints are asserted identical to the tick loop, but the
+#: default path is new, so cached runs are re-validated once.
+CACHE_CODE_VERSION = "sim-v5"
 
 
 def _topology_payload(topology: Topology) -> Dict[str, Any]:

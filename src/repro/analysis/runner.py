@@ -87,14 +87,18 @@ def run_simulation(
     links_of_interest: tuple = (),
     vectorized_store: bool = True,
     vectorized_flow: bool = True,
+    event_engine: bool = True,
+    record_cycle_stats: bool = True,
 ) -> SimResult:
     """Run one strategy over the given jobs and return the result.
 
     Exposes every :class:`SimConfig` knob — including the
-    ``incremental_engine`` / ``vectorized_store`` / ``vectorized_flow``
-    A/B switches and the Fig. 12c overhead model — so sweeps and the
-    parallel engine can exercise both engines without hand-building a
-    :class:`Simulation`.
+    ``incremental_engine`` / ``vectorized_store`` / ``vectorized_flow`` /
+    ``event_engine`` A/B switches and the Fig. 12c overhead model — so
+    sweeps and the parallel engine can exercise both engines without
+    hand-building a :class:`Simulation`. ``record_cycle_stats=False``
+    drops the per-cycle records for day-scale horizons where the stats
+    list would dominate memory.
     """
     strategy = make_strategy(strategy_name, seed=seed, config=config)
     sim = Simulation(
@@ -113,6 +117,8 @@ def run_simulation(
             links_of_interest=tuple(links_of_interest),
             vectorized_store=vectorized_store,
             vectorized_flow=vectorized_flow,
+            event_engine=event_engine,
+            record_cycle_stats=record_cycle_stats,
         ),
         background=background,
         failures=failures,

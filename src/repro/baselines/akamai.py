@@ -32,6 +32,9 @@ class AkamaiStrategy(OverlayStrategy):
 
     uses_controller_rates = False
     respects_safety_threshold = False
+    # Reflector choice is memoized deterministically per job; reusable
+    # under the event engine's validity key.
+    decisions_reusable = True
 
     def __init__(
         self,

@@ -9,6 +9,14 @@ attributes describe how the simulator should treat its flows:
 * ``respects_safety_threshold`` — the strategy keeps bulk traffic under the
   §5.2 safety threshold; decentralized baselines do not, which is exactly
   what produces the Fig. 6 interference incidents.
+* ``decisions_reusable`` — ``decide`` is a pure, deterministic function of
+  the view state captured by the event engine's validity key (possession,
+  failures, active jobs, controller reachability, background state), so
+  the engine may replay the previous cycle's directives while that key is
+  unchanged instead of calling ``decide`` again. Opt-in per strategy:
+  anything that draws randomness per call, keys behavior on
+  ``view.cycle``, or mutates internal state across calls (including an
+  ``on_cycle_complete`` hook) must leave this False.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ class OverlayStrategy(ABC):
 
     uses_controller_rates: bool = False
     respects_safety_threshold: bool = False
+    decisions_reusable: bool = False
 
     @abstractmethod
     def decide(self, view: ClusterView) -> List[TransferDirective]:

@@ -24,6 +24,9 @@ class ChainStrategy(OverlayStrategy):
 
     uses_controller_rates = False
     respects_safety_threshold = False
+    # Deterministic chain construction from sorted ids; reusable under
+    # the event engine's validity key.
+    decisions_reusable = True
 
     def __init__(self, window: int = 16) -> None:
         """``window``: in-flight block window per hop (in index order)."""

@@ -22,6 +22,9 @@ class DirectStrategy(OverlayStrategy):
 
     uses_controller_rates = False
     respects_safety_threshold = False
+    # Pure function of possession/failures/active jobs — no RNG, no
+    # cycle-keyed behavior — so the event engine may replay decisions.
+    decisions_reusable = True
 
     def __init__(self, window: int = 32) -> None:
         """``window``: maximum blocks requested per receiver per cycle."""

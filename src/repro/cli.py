@@ -58,6 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--max-cycles", type=int, default=100_000)
     sim.add_argument(
+        "--tick-engine",
+        action="store_true",
+        help="run the legacy fixed-tick loop (execute every cycle) instead "
+        "of the event-driven core; results are bit-identical",
+    )
+    sim.add_argument(
         "--json", default=None, help="write a JSON result export to this path"
     )
 
@@ -145,6 +151,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cycle_seconds=args.cycle,
         max_cycles=args.max_cycles,
         seed=args.seed,
+        event_engine=not args.tick_engine,
     )
     if args.json:
         from repro.analysis.export import save_result
@@ -159,6 +166,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"strategy          : {args.strategy}")
     print(f"completion        : {format_duration(result.completion_time('cli'))}")
     print(f"cycles            : {result.cycles_run}")
+    if result.cycles_decision_reused or result.cycles_fast_forwarded:
+        print(
+            "event engine      : "
+            f"{result.cycles_decision_reused} cycles reused the decision, "
+            f"{result.cycles_fast_forwarded} fast-forwarded"
+        )
     print(
         "per-server times  : "
         f"median {stats.median:.1f}s  p90 {stats.p90:.1f}s  max {stats.maximum:.1f}s"

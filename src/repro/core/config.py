@@ -27,6 +27,15 @@ class BDSConfig:
     scales any resource the (possibly stale, §5.1) allocation
     oversubscribed — the controller itself never needs to re-check
     physics.
+
+    Under the event-driven simulator core (``SimConfig.event_engine``,
+    see :mod:`repro.net.simulator`) the loop is not re-run every ΔT:
+    §5.2's observation that decisions stay valid until state changes is
+    made operational through a validity key plus the router's
+    :attr:`~repro.core.routing.RoutingDiagnostics.reuse_horizon`
+    certificate, and jobs may request a coarser per-job cadence via
+    :attr:`repro.overlay.job.MulticastJob.cycle_seconds` (a multiple of
+    this ΔT).
     """
 
     block_size: float = DEFAULT_BLOCK_SIZE

@@ -28,6 +28,10 @@ class BDSController(OverlayStrategy):
 
     uses_controller_rates = True
     respects_safety_threshold = True
+    # The controller is a deterministic function of the view while the
+    # event engine's validity key holds; the per-decision reuse_horizon
+    # below narrows that claim where demands drain (§5.2 decision reuse).
+    decisions_reusable = True
 
     def __init__(
         self,
@@ -119,6 +123,15 @@ class BDSController(OverlayStrategy):
             selections,
             batch=getattr(self.scheduler, "last_batch", None),
         )
+        # A partition-fallback slice runs the RNG-bearing decentralized
+        # protocol and a speculation overlay perturbs next cycle's view
+        # from this cycle's directives — neither output is a pure function
+        # of the validity key, so both veto reuse outright.
+        reuse_horizon = (
+            0
+            if (fallback_directives or self._speculator is not None)
+            else diagnostics.reuse_horizon
+        )
         self.decisions.append(
             ControlDecision(
                 cycle=view.cycle,
@@ -131,6 +144,7 @@ class BDSController(OverlayStrategy):
                 routing_iterations=diagnostics.iterations,
                 routing_phases=diagnostics.phases,
                 routing_warm_start=diagnostics.warm_start,
+                reuse_horizon=reuse_horizon,
             )
         )
         self._previous_directives = directives

@@ -11,7 +11,7 @@ benchmarks (Fig. 11a, 13a).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.net.simulator import TransferDirective
 from repro.overlay.blocks import Block
@@ -81,6 +81,15 @@ class ControlDecision:
     routing_iterations: int = 0
     routing_phases: int = 0
     routing_warm_start: str = ""
+    #: Demand-independence certificate for the event engine's decision
+    #: reuse (§5.2: decisions stay valid until state changes): how many
+    #: cycles past ``cycle`` this decision's directives are guaranteed to
+    #: be re-derivable bit-identically under an unchanged validity key,
+    #: accounting for commodity demands draining as bytes flow. ``None``
+    #: means unbounded (no output depends on a draining quantity); ``0``
+    #: means never reuse (e.g. approximate solver backends, partition
+    #: fallback directives).
+    reuse_horizon: Optional[int] = 0
 
     @property
     def total_runtime(self) -> float:

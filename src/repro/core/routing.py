@@ -56,6 +56,12 @@ class RoutingDiagnostics:
     phase count, and how the solve started — ``"cold"``, ``"warm"``,
     ``"reuse"``, or ``"cold-fallback"`` (see
     :class:`repro.lp.fptas.FPTASResult`).
+
+    ``reuse_horizon`` is the demand-independence certificate consumed by
+    the event engine (see :attr:`repro.core.decisions.ControlDecision.
+    reuse_horizon`): cycles past the decide this routing output stays
+    bit-identical while demands drain, ``None`` = unbounded, ``0`` =
+    never reuse.
     """
 
     backend: str
@@ -66,6 +72,7 @@ class RoutingDiagnostics:
     iterations: int = 0
     phases: int = 0
     warm_start: str = ""
+    reuse_horizon: Optional[int] = 0
 
 
 class BDSRouter:
@@ -110,12 +117,16 @@ class BDSRouter:
         """
         started = _time.perf_counter()
         if not selections:
+            # Nothing scheduled: the (empty) output reads no draining
+            # quantity, so it stays exact for as long as the validity key
+            # holds — unbounded reuse horizon.
             return [], RoutingDiagnostics(
                 backend=self.backend,
                 num_selections=0,
                 num_commodities=0,
                 objective=0.0,
                 runtime=_time.perf_counter() - started,
+                reuse_horizon=None,
             )
 
         if (
@@ -134,6 +145,7 @@ class BDSRouter:
                 num_commodities=0,
                 objective=0.0,
                 runtime=_time.perf_counter() - started,
+                reuse_horizon=None,
             )
 
         rates, solver = self._solve(view, commodities, view.bulk_capacities)
@@ -148,6 +160,7 @@ class BDSRouter:
             iterations=solver[0],
             phases=solver[1],
             warm_start=solver[2],
+            reuse_horizon=self._certify_reuse_horizon(commodities, rates),
         )
 
     # -- step 1 & 2: source candidates and merging -------------------------------
@@ -439,6 +452,65 @@ class BDSRouter:
             result.phases,
             result.warm_start,
         )
+
+    def _certify_reuse_horizon(
+        self,
+        commodities: List[Commodity],
+        rates: Mapping[Tuple[GroupKey, int], float],
+    ) -> Optional[int]:
+        """Demand-independence certificate for the greedy backend.
+
+        The only routing input that changes while the validity key holds
+        is each commodity's demand (``remaining / dt``), which drains by
+        at most the pushed rate per cycle. The greedy water-fill's trace —
+        and therefore its directives, byte-for-byte — is unchanged as
+        long as every commodity's demand stays strictly above what was
+        pushed for it, because every ``min(demand, room)`` step keeps
+        resolving to the room term:
+
+        * commodities with **zero pushed rate** do not drain, so they
+          never constrain the horizon;
+        * a **capacity-limited** commodity (pushed ``p`` < demand ``d``,
+          slack ``d - p``) tolerates ``j`` reused cycles while
+          ``d - j*p > p + margin``, i.e. ``j < (slack - margin) / p``,
+          with ``margin = 1e-6*d + 1e-3`` absorbing the solver's own
+          ``1e-9`` epsilons and float drift; the drain bound ``p`` per
+          cycle is itself conservative (real drain is ``p * window`` /
+          ``dt`` < ``p``);
+        * a **demand-limited** commodity (slack ≈ 0) would push less the
+          very next cycle, so it forces horizon 0.
+
+        The FPTAS solver is ε-approximate with warm-start state that
+        advances per solve, and the LP backend's vertex selection is not
+        certified against demand perturbations — both report 0 (never
+        reuse). ``None`` (unbounded) is returned when no commodity
+        constrains the horizon.
+        """
+        if self.backend != "greedy":
+            return 0
+        pushed: Dict[int, float] = {}
+        names = {c.name: i for i, c in enumerate(commodities)}
+        for (name, _path), rate in rates.items():
+            i = names[name]
+            pushed[i] = pushed.get(i, 0.0) + rate
+        horizon: Optional[int] = None
+        for i, commodity in enumerate(commodities):
+            p = pushed.get(i, 0.0)
+            if p <= 0.0:
+                continue
+            demand = commodity.demand
+            if demand is None:
+                continue
+            margin = 1e-6 * demand + 1e-3
+            slack = demand - p
+            if slack <= margin:
+                return 0
+            h = int((slack - margin) / p) - 1
+            if h <= 0:
+                return 0
+            if horizon is None or h < horizon:
+                horizon = h
+        return horizon
 
     @staticmethod
     def _solve_greedy(

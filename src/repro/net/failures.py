@@ -98,6 +98,21 @@ class FailureSchedule:
         elif event.kind == "replica_recover":
             self.failed_replicas.discard(str(event.target))
 
+    def next_change_after(self, cycle: int) -> Optional[int]:
+        """The first cycle strictly after ``cycle`` with a scheduled event.
+
+        ``None`` means no further events exist: the failure state is
+        constant for the rest of the run. This is the horizon API the
+        event-driven simulator core uses to bound its fast-forward — a
+        stretch of cycles may only be skipped if every one of them is
+        known to apply no failure event (events at the stretch's end
+        cycle are applied normally when that cycle executes).
+        """
+        for event in self.events:
+            if event.cycle > cycle:
+                return event.cycle
+        return None
+
     def agent_is_up(self, server_id: str) -> bool:
         return server_id not in self.failed_agents
 

@@ -24,8 +24,14 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.net.background import BackgroundTraffic, delay_inflation
-from repro.net.cycle_cache import CycleCache
+from repro.net.cycle_cache import (
+    CycleCache,
+    DecisionReuseState,
+    first_cycle_at_or_after,
+)
 from repro.net.failures import FailureSchedule
 from repro.net.flow import (
     Flow,
@@ -46,6 +52,11 @@ BlockId = Tuple[str, int]
 #: costs more than per-pair application; results are bit-identical either
 #: way, so small batches replay through the scalar path.
 _DELIVERY_BATCH_MIN = 32
+
+#: Fast-forward chunk cap: at most this many cycles are skipped per
+#: analytic pass. Bounds the O(k) cumsum buffers and, with per-cycle stats
+#: on, the stats appended per pass.
+_FF_CHUNK = 131072
 
 
 @dataclass(frozen=True)
@@ -123,6 +134,24 @@ class SimConfig:
     # either way. Batched delivery additionally needs the matrix store
     # (vectorized_store=True); without it deliveries stay per-pair.
     vectorized_flow: bool = True
+    # Event-driven simulator core (§5.2: decisions stay valid until state
+    # changes). When on, the loop (a) replays the previous decision while
+    # its validity key — store/topology/partial-membership epochs, failure
+    # sets, controller availability, active-job signature, background
+    # state token — and the strategy's certified reuse horizon both hold,
+    # skipping decide/validate/path lookups; and (b) fast-forwards whole
+    # stretches of cycles analytically when rates are provably constant,
+    # applying k cycles of delivery in one batched pass bounded by the
+    # next event (flow completion, job arrival, failure event, background
+    # change-point). False reverts to the fixed-tick loop — kept as the
+    # in-tree baseline for the event-engine benchmark and the determinism
+    # A/B tests; results are bit-identical either way.
+    event_engine: bool = True
+    # Per-cycle CycleStats collection. Day-scale horizons (10^6+ cycles)
+    # do not want a ~500-byte record per cycle; turning this off keeps
+    # only the aggregate counters and completion metrics. Implies no
+    # per-cycle link stats.
+    record_cycle_stats: bool = True
 
     def __post_init__(self) -> None:
         check_positive("cycle_seconds", self.cycle_seconds)
@@ -136,6 +165,11 @@ class SimConfig:
             raise ValueError(
                 "control_overhead_seconds must be < cycle_seconds "
                 "(the cycle would have no transfer window)"
+            )
+        if self.record_link_stats and not self.record_cycle_stats:
+            raise ValueError(
+                "record_link_stats requires record_cycle_stats "
+                "(link stats live on the per-cycle records)"
             )
 
 
@@ -181,6 +215,11 @@ class CycleStats:
     routing_iterations: int = 0
     routing_phases: int = 0
     routing_warm_start: str = ""
+    # Event-engine provenance (diagnostics, never fingerprinted): the
+    # cycle replayed the previous decision under an unchanged validity
+    # key / was applied analytically inside a fast-forwarded stretch.
+    decision_reused: bool = False
+    fast_forwarded: bool = False
 
 
 @dataclass
@@ -199,6 +238,11 @@ class SimResult:
     # Control-plane feedback-loop samples (one per cycle) when the
     # simulation ran with an AgentMonitor attached.
     feedback_samples: List = field(default_factory=list)
+    # Event-engine accounting (diagnostics, never fingerprinted): cycles
+    # that replayed the previous decision, and cycles applied inside
+    # analytic fast-forward stretches. Both zero under the tick loop.
+    cycles_decision_reused: int = 0
+    cycles_fast_forwarded: int = 0
 
     def completion_time(self, job_id: str) -> float:
         """Completion time of a job; raises if it never completed."""
@@ -721,6 +765,41 @@ class Simulation:
         self._bulk_cache: Dict[float, Dict[ResourceKey, float]] = {}
         self._caps_ref: Optional[Dict[ResourceKey, float]] = None
 
+        # Partial-bytes *membership* epoch: bumped whenever a (block, dst)
+        # key appears in or vanishes from self._partial. Routing reads
+        # partial membership (the partial-first reorder) but never the
+        # byte values, so this epoch — not the values — belongs in the
+        # event engine's decision validity key.
+        self._partial_epoch = 0
+
+        # Integer arrival grid (event engine + O(changes) job filtering):
+        # per-job first active cycle, exact on the c*dt float grid so
+        # "arrived by cycle c" matches the legacy arrival_time <= c*dt
+        # predicate bit-for-bit, plus a stable arrival-sorted index. Jobs
+        # requesting a coarser per-job cadence (MulticastJob.cycle_seconds,
+        # a positive multiple of ΔT) have their arrival quantized up to
+        # their own cadence boundary.
+        dt = self.config.cycle_seconds
+        self._arrival_cycle_by_idx: List[int] = []
+        for job in self.jobs:
+            arrival = first_cycle_at_or_after(job.arrival_time, dt)
+            period = getattr(job, "cycle_seconds", None)
+            if period is not None:
+                multiple = int(round(period / dt))
+                if multiple < 1 or multiple * dt != period:
+                    raise ValueError(
+                        f"job {job.job_id!r} cycle_seconds ({period}) must "
+                        f"be a positive integer multiple of the simulation "
+                        f"cycle_seconds ({dt})"
+                    )
+                if multiple > 1 and arrival % multiple:
+                    arrival = (arrival // multiple + 1) * multiple
+            self._arrival_cycle_by_idx.append(arrival)
+        self._arrival_order: List[int] = sorted(
+            range(len(self.jobs)),
+            key=self._arrival_cycle_by_idx.__getitem__,
+        )
+
     # -- per-cycle resource budgets ------------------------------------------
 
     def _bulk_capacities(self, now: float, respect_threshold: bool) -> Tuple[
@@ -832,7 +911,11 @@ class Simulation:
         return ClusterView(
             topology=self.topology,
             store=self.store,
-            jobs=[j for j in self.jobs if j.arrival_time <= cycle * self.config.cycle_seconds],
+            jobs=[
+                j
+                for i, j in enumerate(self.jobs)
+                if self._arrival_cycle_by_idx[i] <= cycle
+            ],
             cycle=cycle,
             time=cycle * self.config.cycle_seconds,
             cycle_seconds=self.config.cycle_seconds,
@@ -855,7 +938,32 @@ class Simulation:
     # -- main loop -------------------------------------------------------------
 
     def run(self) -> SimResult:
-        """Run until all jobs complete or ``max_cycles`` elapse."""
+        """Run until all jobs complete or ``max_cycles`` elapse.
+
+        Two engines share this loop. The fixed-tick engine
+        (``event_engine=False``) executes every stage of every cycle. The
+        event engine adds two provably-exact shortcuts on top of the same
+        stage code:
+
+        * **decision reuse** — while the validity key (epochs, failure
+          sets, controller availability, active-job signature, background
+          token) and the strategy's certified reuse horizon both hold,
+          the previous decision's validated directives are replayed and
+          the view/decide/validate stages are skipped. Rates are still
+          resolved fresh each cycle (they are in the tick loop too), so
+          replayed cycles are bit-identical by construction.
+        * **analytic fast-forward** — after a replayable cycle that
+          delivered nothing and changed no partial membership, the next
+          k cycles are applied in one pass when rates are certifiably
+          constant: k is bounded by the earliest flow completion
+          (remaining/rate), the next job arrival, the next failure event,
+          the next background change-point, the reuse horizon, and
+          ``max_cycles``. Per-flow byte accumulation uses the same
+          left-fold float additions the tick loop performs (numpy cumsum
+          is a sequential fold), so the skipped cycles' partial bytes,
+          per-cycle transferred totals, and eventual completion times are
+          bit-identical to ticking through them.
+        """
         cfg = self.config
         dt = cfg.cycle_seconds
         job_completion: Dict[str, float] = {}
@@ -883,9 +991,51 @@ class Simulation:
         # the TCP re-establishment cost.
         prev_pairs: Set[Tuple[str, str]] = set()
         incremental = cfg.incremental_engine
+        record_stats = cfg.record_cycle_stats
+
+        # Event-engine gates. Reuse needs a strategy that certifies its
+        # decide as a pure function of the validity key, and no per-cycle
+        # observers that a skipped decide would starve (monitor, hook).
+        # Fast-forward additionally requires nothing that must run every
+        # cycle: replica elections tick per cycle, and link stats sample
+        # per cycle.
+        can_reuse = (
+            cfg.event_engine
+            and getattr(self.strategy, "decisions_reusable", False)
+            and self.agent_monitor is None
+            and getattr(self.strategy, "on_cycle_complete", None) is None
+        )
+        can_ffwd = (
+            can_reuse
+            and self.replica_set is None
+            and not cfg.record_link_stats
+        )
+        reuse = DecisionReuseState()
+        cycles_reused = 0
+        cycles_ffwd = 0
+        cycles_done = 0
+        last_decision_fn = getattr(self.strategy, "last_decision", None)
+        if not callable(last_decision_fn):
+            last_decision_fn = None
+
+        # O(changes) active-job maintenance: a pointer over the
+        # arrival-sorted index plus a completion-count watermark; the
+        # (jobs-ordered) active list is rebuilt only when either moves.
+        arr_order = self._arrival_order
+        arr_cycles = [self._arrival_cycle_by_idx[i] for i in arr_order]
+        num_arrivals = len(arr_cycles)
+        arrival_ptr = 0
+        arrived: List[int] = []
+        active_jobs: List[MulticastJob] = []
+        last_completed = -1
+
         cycle = 0
-        for cycle in range(cfg.max_cycles):
+        while cycle < cfg.max_cycles:
             now = cycle * dt
+            # All timestamps derive from integer cycle counts: the cycle's
+            # end is (cycle+1)*dt, never now + dt, so fast-forwarding to
+            # cycle c and ticking to cycle c produce the same floats.
+            cycle_end = (cycle + 1) * dt
             stage_started = _time.perf_counter()
             if self.failures:
                 applied = self.failures.advance_to(cycle)
@@ -907,78 +1057,156 @@ class Simulation:
                 controller_ok = controller_ok and self.replica_set.has_leader()
 
             bulk_caps, online = self._bulk_capacities(now, respects)
-            active_jobs = [
-                j
-                for j in self.jobs
-                if j.arrival_time <= now and j.job_id not in job_completion
-            ]
-            view = ClusterView(
-                topology=self.topology,
-                store=self.store,
-                jobs=active_jobs,
-                cycle=cycle,
-                time=now,
-                cycle_seconds=dt,
-                bulk_capacities=bulk_caps,
-                failed_agents=failed,
-                controller_available=controller_ok,
-                partial_bytes=self._partial,
-                failed_links=failed_links,
-                pending=self._pending if incremental else None,
-                relay_pending=self._relay_pending if incremental else None,
-                blocks_by_id=self._blocks_by_id if incremental else None,
-                cache=self._cycle_cache if incremental else None,
-                pending_order=self._pending_order if incremental else None,
-                relay_order=self._relay_order if incremental else None,
-                candidates=self._cand_table if incremental else None,
-            )
-            decide_started = _time.perf_counter()
-            time_view_build = decide_started - stage_started
-            raw_directives = self.strategy.decide(view)
-            decide_runtime = _time.perf_counter() - decide_started
-            directives = self._valid_directives(raw_directives, failed)
 
-            if self.agent_monitor is not None and controller_ok:
-                for agent in self._agents:
-                    agent.healthy = agent.server_id not in failed
-                _snapshots, sample = self.agent_monitor.feedback_loop(
-                    self._agents, {}, decide_runtime
-                )
-                feedback_samples.append(sample)
+            moved = False
+            while (
+                arrival_ptr < num_arrivals
+                and arr_cycles[arrival_ptr] <= cycle
+            ):
+                arrived.append(arr_order[arrival_ptr])
+                arrival_ptr += 1
+                moved = True
+            if moved or len(job_completion) != last_completed:
+                arrived.sort()
+                active_jobs = [
+                    self.jobs[i]
+                    for i in arrived
+                    if self.jobs[i].job_id not in job_completion
+                ]
+                last_completed = len(job_completion)
 
-            rate_started = _time.perf_counter()
-            flows: List[Flow] = []
-            routed: List[TransferDirective] = []
-            flow_resources: List[Tuple[ResourceKey, ...]] = []
-            for d in directives:
-                if incremental:
-                    resources = view.flow_resources(d.src_server, d.dst_server)
-                    if resources is None:
-                        continue  # destination partitioned off this cycle
-                else:
-                    try:
-                        resources = self.topology.flow_resources(
-                            d.src_server, d.dst_server, failed_links
-                        )
-                    except ValueError:
-                        continue  # destination partitioned off this cycle
-                i = len(routed)
-                remaining = sum(
-                    self._blocks_by_id[bid].size
-                    - self._partial.get((bid, d.dst_server), 0.0)
-                    for bid in d.block_ids
+            vkey = None
+            if can_reuse:
+                bg = self.background
+                vkey = (
+                    self.topology.epoch,
+                    self.store.epoch,
+                    self._partial_epoch,
+                    frozenset(failed),
+                    failed_links,
+                    controller_ok,
+                    arrival_ptr,
+                    len(job_completion),
+                    -1 if bg is None else bg.state_token(cycle, dt),
                 )
-                routed.append(d)
-                flow_resources.append(resources)
-                flows.append(
-                    Flow(
-                        flow_id=i,
-                        resources=resources,
-                        rate_cap=d.rate_cap,
-                        demand=remaining / dt,
+
+            reused = vkey is not None and reuse.valid_for(cycle, vkey)
+            if reused:
+                # Replay path: the stored directives were validated under
+                # this exact key (same possession, failures, topology), so
+                # re-validating and re-probing paths would reproduce them
+                # verbatim. Only the flows' demands have moved — rebuild
+                # those from the live partial bytes, exactly as the tick
+                # loop would.
+                view = None
+                time_view_build = 0.0
+                decide_runtime = 0.0
+                directives = reuse.directives
+                flow_resources = reuse.resources
+                rate_started = _time.perf_counter()
+                flows = []
+                for i, d in enumerate(directives):
+                    remaining = sum(
+                        self._blocks_by_id[bid].size
+                        - self._partial.get((bid, d.dst_server), 0.0)
+                        for bid in d.block_ids
                     )
+                    flows.append(
+                        Flow(
+                            flow_id=i,
+                            resources=flow_resources[i],
+                            rate_cap=d.rate_cap,
+                            demand=remaining / dt,
+                        )
+                    )
+                reuse.reuses += 1
+                cycles_reused += 1
+            else:
+                view = ClusterView(
+                    topology=self.topology,
+                    store=self.store,
+                    jobs=active_jobs,
+                    cycle=cycle,
+                    time=now,
+                    cycle_seconds=dt,
+                    bulk_capacities=bulk_caps,
+                    failed_agents=failed,
+                    controller_available=controller_ok,
+                    partial_bytes=self._partial,
+                    failed_links=failed_links,
+                    pending=self._pending if incremental else None,
+                    relay_pending=self._relay_pending if incremental else None,
+                    blocks_by_id=self._blocks_by_id if incremental else None,
+                    cache=self._cycle_cache if incremental else None,
+                    pending_order=self._pending_order if incremental else None,
+                    relay_order=self._relay_order if incremental else None,
+                    candidates=self._cand_table if incremental else None,
                 )
-            directives = routed
+                decide_started = _time.perf_counter()
+                time_view_build = decide_started - stage_started
+                raw_directives = self.strategy.decide(view)
+                decide_runtime = _time.perf_counter() - decide_started
+                directives = self._valid_directives(raw_directives, failed)
+
+                if self.agent_monitor is not None and controller_ok:
+                    for agent in self._agents:
+                        agent.healthy = agent.server_id not in failed
+                    _snapshots, sample = self.agent_monitor.feedback_loop(
+                        self._agents, {}, decide_runtime
+                    )
+                    feedback_samples.append(sample)
+
+                rate_started = _time.perf_counter()
+                flows = []
+                routed: List[TransferDirective] = []
+                flow_resources = []
+                for d in directives:
+                    if incremental:
+                        resources = view.flow_resources(
+                            d.src_server, d.dst_server
+                        )
+                        if resources is None:
+                            continue  # destination partitioned off this cycle
+                    else:
+                        try:
+                            resources = self.topology.flow_resources(
+                                d.src_server, d.dst_server, failed_links
+                            )
+                        except ValueError:
+                            continue  # destination partitioned off this cycle
+                    i = len(routed)
+                    remaining = sum(
+                        self._blocks_by_id[bid].size
+                        - self._partial.get((bid, d.dst_server), 0.0)
+                        for bid in d.block_ids
+                    )
+                    routed.append(d)
+                    flow_resources.append(resources)
+                    flows.append(
+                        Flow(
+                            flow_id=i,
+                            resources=resources,
+                            rate_cap=d.rate_cap,
+                            demand=remaining / dt,
+                        )
+                    )
+                directives = routed
+                if vkey is not None:
+                    # Certify this decide for reuse. The strategy's own
+                    # per-decision horizon governs (0 when it declined or
+                    # when the fallback decided — last_decision().cycle
+                    # then misses); strategies with no decision log are
+                    # pure view functions, unbounded under the key.
+                    horizon: Optional[int] = None
+                    if last_decision_fn is not None:
+                        decision = last_decision_fn()
+                        if decision is not None and decision.cycle == cycle:
+                            horizon = getattr(decision, "reuse_horizon", 0)
+                        else:
+                            horizon = 0
+                    reuse.store_decision(
+                        vkey, cycle, horizon, directives, flow_resources
+                    )
 
             kernel_stats = FlowKernelStats()
             if uses_rates and controller_ok:
@@ -1044,10 +1272,13 @@ class Simulation:
                     # size - 1e-9 bytes forever (the router will not
                     # schedule sub-nanobyte demands).
                     if take >= need - 1e-6:
+                        if have > 0.0:
+                            # A stored partial vanished: membership change.
+                            self._partial_epoch += 1
                         self._partial.pop(key, None)
                         setup = dt - window
                         finish = now + setup + (used / rate if rate > 0 else dt)
-                        when = min(finish, now + dt)
+                        when = min(finish, cycle_end)
                         if batch_deliver:
                             events.append(
                                 (d.job_id, block, d.src_server, d.dst_server, when)
@@ -1069,6 +1300,9 @@ class Simulation:
                             )
                         delivered += 1
                     else:
+                        if have == 0.0:
+                            # First bytes of a new partial: membership change.
+                            self._partial_epoch += 1
                         self._partial[key] = have + take
                 transferred += used
 
@@ -1094,80 +1328,116 @@ class Simulation:
                     )
                 apply_seconds += _time.perf_counter() - apply_started
 
-            time_schedule = decide_runtime
-            time_route = 0.0
-            routing_iterations = 0
-            routing_phases = 0
-            routing_warm_start = ""
-            last_decision = getattr(self.strategy, "last_decision", None)
-            if callable(last_decision):
-                decision = last_decision()
-                if decision is not None and decision.cycle == cycle:
-                    time_schedule = decision.schedule_runtime
-                    time_route = decision.routing_runtime
-                    routing_iterations = getattr(
-                        decision, "routing_iterations", 0
-                    )
-                    routing_phases = getattr(decision, "routing_phases", 0)
-                    routing_warm_start = getattr(
-                        decision, "routing_warm_start", ""
-                    )
-            stats = CycleStats(
-                cycle=cycle,
-                time=now,
-                blocks_delivered=delivered,
-                bytes_transferred=transferred,
-                active_flows=len(directives),
-                controller_available=controller_ok,
-                time_view_build=time_view_build,
-                time_decide=decide_runtime,
-                time_schedule=time_schedule,
-                time_route=time_route,
-                time_rate_resolve=time_rate_resolve,
-                time_deliver=_time.perf_counter() - deliver_started,
-                time_deliver_apply=apply_seconds,
-                rate_stalemates=kernel_stats.stalemates,
-                routing_iterations=routing_iterations,
-                routing_phases=routing_phases,
-                routing_warm_start=routing_warm_start,
-            )
-            if cfg.record_link_stats:
-                usage: Dict[ResourceKey, float] = {}
-                for i, d in enumerate(directives):
-                    rate = rates.get(i, 0.0)
-                    for res in flow_resources[i]:
-                        usage[res] = usage.get(res, 0.0) + rate
-                keys = cfg.links_of_interest or tuple(self.topology.links)
-                caps = self.topology.resource_capacities()
-                worst = 1.0
-                for key in keys:
-                    stats.link_bulk_usage[key] = usage.get(key, 0.0)
-                    stats.link_online_usage[key] = online.get(key, 0.0)
-                    total = stats.link_bulk_usage[key] + stats.link_online_usage[key]
-                    worst = max(
-                        worst,
-                        delay_inflation(
-                            total / caps[key], cfg.safety_threshold
-                        ),
-                    )
-                stats.max_delay_inflation = worst
-            cycle_stats.append(stats)
+            if record_stats:
+                time_schedule = decide_runtime
+                time_route = 0.0
+                routing_iterations = 0
+                routing_phases = 0
+                routing_warm_start = ""
+                if not reused and last_decision_fn is not None:
+                    decision = last_decision_fn()
+                    if decision is not None and decision.cycle == cycle:
+                        time_schedule = decision.schedule_runtime
+                        time_route = decision.routing_runtime
+                        routing_iterations = getattr(
+                            decision, "routing_iterations", 0
+                        )
+                        routing_phases = getattr(decision, "routing_phases", 0)
+                        routing_warm_start = getattr(
+                            decision, "routing_warm_start", ""
+                        )
+                stats = CycleStats(
+                    cycle=cycle,
+                    time=now,
+                    blocks_delivered=delivered,
+                    bytes_transferred=transferred,
+                    active_flows=len(directives),
+                    controller_available=controller_ok,
+                    time_view_build=time_view_build,
+                    time_decide=decide_runtime,
+                    time_schedule=time_schedule,
+                    time_route=time_route,
+                    time_rate_resolve=time_rate_resolve,
+                    time_deliver=_time.perf_counter() - deliver_started,
+                    time_deliver_apply=apply_seconds,
+                    rate_stalemates=kernel_stats.stalemates,
+                    routing_iterations=routing_iterations,
+                    routing_phases=routing_phases,
+                    routing_warm_start=routing_warm_start,
+                    decision_reused=reused,
+                )
+                if cfg.record_link_stats:
+                    usage: Dict[ResourceKey, float] = {}
+                    for i, d in enumerate(directives):
+                        rate = rates.get(i, 0.0)
+                        for res in flow_resources[i]:
+                            usage[res] = usage.get(res, 0.0) + rate
+                    keys = cfg.links_of_interest or tuple(self.topology.links)
+                    caps = self.topology.resource_capacities()
+                    worst = 1.0
+                    for key in keys:
+                        stats.link_bulk_usage[key] = usage.get(key, 0.0)
+                        stats.link_online_usage[key] = online.get(key, 0.0)
+                        total = (
+                            stats.link_bulk_usage[key]
+                            + stats.link_online_usage[key]
+                        )
+                        worst = max(
+                            worst,
+                            delay_inflation(
+                                total / caps[key], cfg.safety_threshold
+                            ),
+                        )
+                    stats.max_delay_inflation = worst
+                cycle_stats.append(stats)
 
+            cycles_done += 1
             prev_pairs = current_pairs
 
-            hook = getattr(self.strategy, "on_cycle_complete", None)
-            if hook is not None:
-                hook(view, delivered)
+            if not reused:
+                hook = getattr(self.strategy, "on_cycle_complete", None)
+                if hook is not None:
+                    hook(view, delivered)
 
             if cfg.stop_when_complete and len(job_completion) == len(self.jobs):
                 cycle += 1
                 break
+
+            skipped = 0
+            if (
+                can_ffwd
+                and delivered == 0
+                and vkey is not None
+                and reuse.key == vkey
+                and self.topology.epoch == vkey[0]
+                and self.store.epoch == vkey[1]
+                and self._partial_epoch == vkey[2]
+            ):
+                next_arrival = (
+                    arr_cycles[arrival_ptr]
+                    if arrival_ptr < num_arrivals
+                    else None
+                )
+                skipped = self._attempt_fast_forward(
+                    cycle,
+                    reuse,
+                    next_arrival,
+                    directives,
+                    rates,
+                    uses_rates,
+                    controller_ok,
+                    cycle_stats,
+                    record_stats,
+                )
+                cycles_ffwd += skipped
+                cycles_done += skipped
+            cycle += 1 + skipped
         else:
             cycle = cfg.max_cycles
 
         return SimResult(
-            cycles_run=cycle if cycle_stats else 0,
-            sim_time=len(cycle_stats) * dt,
+            cycles_run=cycle if cycles_done else 0,
+            sim_time=cycles_done * dt,
             wall_time=_time.perf_counter() - started,
             job_completion=job_completion,
             dc_completion=dc_completion,
@@ -1176,7 +1446,157 @@ class Simulation:
             store=self.store,
             all_complete=len(job_completion) == len(self.jobs),
             feedback_samples=feedback_samples,
+            cycles_decision_reused=cycles_reused,
+            cycles_fast_forwarded=cycles_ffwd,
         )
+
+    def _attempt_fast_forward(
+        self,
+        cycle: int,
+        reuse: DecisionReuseState,
+        next_arrival: Optional[int],
+        directives: Sequence[TransferDirective],
+        rates: Mapping[int, float],
+        uses_rates: bool,
+        controller_ok: bool,
+        cycle_stats: List[CycleStats],
+        record_stats: bool,
+    ) -> int:
+        """Skip k cycles analytically after a steady executed cycle.
+
+        Called only when cycle ``cycle`` executed with a reusable decision,
+        delivered nothing, and changed no epoch — so cycles
+        ``cycle+1 .. cycle+k`` would replay the same directives at the same
+        rates as long as nothing external changes and no flow completes a
+        block. k is the largest count certified on every axis:
+
+        * **external events** — next job arrival, next failure-schedule
+          event, next background-traffic change-point, the strategy's
+          reuse horizon, and ``max_cycles`` each cap k so the first cycle
+          they affect is executed normally;
+        * **rate constancy** — per draining flow, demand must stay above
+          the level at which it would start binding in the rate kernel
+          (its ``rate_cap`` under the clip kernel, the max-min level
+          otherwise) with a float-dust margin, since a binding demand
+          would change the resolved rates;
+        * **no completion** — a cumsum over the flow's per-cycle budget
+          replays the tick loop's exact completion predicate
+          (``take >= need - 1e-6``); k stops short of the first hit so
+          the completing cycle runs through the real delivery path.
+
+        Byte application is the tick loop's own arithmetic: each skipped
+        cycle deposits the full budget into the directive's first block
+        (``budget -= take`` is exactly ``0.0`` when ``take == budget``),
+        and ``np.cumsum`` is the same sequential left-fold of float adds,
+        so the partial bytes after the pass are bit-identical to ticking.
+        Returns the number of cycles skipped (0 = no certification).
+        """
+        cfg = self.config
+        dt = cfg.cycle_seconds
+        k = _FF_CHUNK
+        if reuse.horizon is not None:
+            k = min(k, reuse.decided_cycle + reuse.horizon - cycle)
+        k = min(k, cfg.max_cycles - 1 - cycle)
+        if next_arrival is not None:
+            k = min(k, next_arrival - 1 - cycle)
+        if self.failures is not None:
+            nxt = self.failures.next_change_after(cycle)
+            if nxt is not None:
+                k = min(k, nxt - 1 - cycle)
+        if self.background is not None:
+            nxt = self.background.next_change_after(cycle, dt)
+            if nxt is not None:
+                k = min(k, nxt - 1 - cycle)
+        if k <= 0:
+            return 0
+
+        # All pairs were active last cycle, so no flow pays setup again.
+        window = dt - cfg.control_overhead_seconds
+        mm_level = max(rates.values(), default=0.0)
+        plan: List[Tuple[Tuple[BlockId, str], float, float, float]] = []
+        seen_keys: Set[Tuple[BlockId, str]] = set()
+        total = 0.0
+        for i, d in enumerate(directives):
+            rate = rates.get(i, 0.0)
+            if rate <= 0 or window <= 0:
+                continue
+            budget = rate * window
+            if budget <= 1e-12:
+                continue
+            remaining = sum(
+                self._blocks_by_id[bid].size
+                - self._partial.get((bid, d.dst_server), 0.0)
+                for bid in d.block_ids
+            )
+            if uses_rates and controller_ok:
+                # Clip kernel: requested = min(rate_cap, demand); constant
+                # only while the cap, not the demand, is the requested rate.
+                bound = d.rate_cap
+                if bound is None:
+                    return 0
+            else:
+                # Max-min kernel: demands interact only through
+                # effective_cap clamps; all clamps resolve identically
+                # while every demand clears the highest fair-share level.
+                bound = mm_level
+            margin = 1e-6 * bound + 1e-3
+            headroom = remaining - (bound + margin) * dt
+            if headroom <= 0:
+                return 0
+            k = min(k, int(headroom / budget))
+            if k <= 0:
+                return 0
+            key0 = (d.block_ids[0], d.dst_server)
+            if key0 in seen_keys:
+                return 0  # two flows feeding one partial: order-coupled
+            seen_keys.add(key0)
+            have = self._partial.get(key0, 0.0)
+            if have == 0.0:
+                return 0  # not draining into its lead block: bail out
+            plan.append(
+                (key0, have, budget, self._blocks_by_id[d.block_ids[0]].size)
+            )
+            total += budget
+
+        # First-completion scan: stop before any lead block would finish.
+        for _key0, have, budget, size in plan:
+            steps = np.empty(k + 1)
+            steps[0] = have
+            steps[1:] = budget
+            acc = np.cumsum(steps)
+            comp = budget >= (size - acc[:k]) - 1e-6
+            if bool(comp.any()):
+                k = int(np.argmax(comp))
+                if k <= 0:
+                    return 0
+
+        for key0, have, budget, size in plan:
+            steps = np.empty(k + 1)
+            steps[0] = have
+            steps[1:] = budget
+            acc = np.cumsum(steps)
+            self._partial[key0] = float(acc[k])
+
+        if record_stats:
+            n_flows = len(directives)
+            for s in range(1, k + 1):
+                cycle_stats.append(
+                    CycleStats(
+                        cycle=cycle + s,
+                        time=(cycle + s) * dt,
+                        blocks_delivered=0,
+                        bytes_transferred=total,
+                        active_flows=n_flows,
+                        controller_available=controller_ok,
+                        decision_reused=True,
+                        fast_forwarded=True,
+                    )
+                )
+        if self.failures is not None:
+            # No events fall inside the window (k was capped before the
+            # next one); advance the watermark so later queries agree.
+            self.failures.advance_to(cycle + k)
+        return k
 
     # -- delivery bookkeeping -----------------------------------------------------
 
