@@ -1,0 +1,557 @@
+"""Sharded control plane scaling — per-cycle controller wall vs shards.
+
+Fig. 11a asks whether one controller cycle fits the 3 s update interval
+ΔT as state grows. This bench measures the sharded control plane
+(``BDSConfig.shards``) at 10^5 / 10^6 / 10^7 (block, destination) pairs
+of controller state spread over many concurrent jobs (sharding
+partitions by job):
+
+* **shard-scaling curve** — max per-cycle controller wall (decide +
+  reconcile) for shards ∈ {1, 2, 4, 8} at 10^6 pairs, uncapped (the
+  production config), with the staggered stride cadence
+  (``shard_stride = shards``): each cycle runs ~one shard's
+  schedule+route over a 1/k working set, so the curve must fall
+  monotonically as shards grow. The win is algorithmic (per-shard
+  working sets + staggering), not parallelism, so it holds on one core.
+* **ΔT headline** — at 10^7 pairs a single controller's cold decide
+  blows through ΔT even with its per-cycle selection capped; with
+  shards > 1 the max per-cycle wall must come back under 3 s.
+* **reconciliation overhead** — the outer max-min waterfill over all
+  shards' directives, per cycle, must stay below 10% of the controller
+  wall at 10^6 pairs.
+* **quality** — sharded completion (stride=1) vs the single controller
+  at 10^5 pairs, recorded as the mean relative completion-time delta;
+  the stated tolerance is 3% (one-sided: sharding must not be slower
+  than that). The only decision the decomposition changes is the rate
+  allocation — with uncapped selection both controllers schedule every
+  pending pair and pick the same rotation sources — so the delta is
+  pure reconciliation error: measured range is -6% (shards=4, *faster*,
+  because each shard's fair-rounds router approximates max-min better
+  on fewer commodities) to +2.5% (shards=2).
+* **process mode** — on hosts with >= 4 CPUs, ``shard_mode="process"``
+  must beat in-process wall at 10^6 pairs (skipped on smaller hosts;
+  results are bit-identical either way, which the unit suite asserts).
+
+The 10^5 and 10^6 arms run uncapped — the production default, where a
+cold cycle's cost is dominated by materializing one directive per
+pending pair, which is exactly the work a 1/k shard divides. The 10^7
+arms run with ``max_blocks_per_cycle = 20_000`` (:data:`TIMED_ARM_CAP`):
+the scenario's network delivers well under a thousand blocks per ΔT, so
+an uncapped 10^7 controller would spend tens of seconds materializing
+~10^6 directive objects the data plane immediately starves — real
+deployments bound per-cycle decision output the same way. The cap
+applies to the 10^7 ``shards=1`` baseline too, so that comparison
+isolates sharding: what remains is the O(pending pairs) rarity scan +
+candidate build. Quality arms run uncapped (a per-shard cap is not
+semantically comparable to a global cap).
+
+Every arm runs in a fresh interpreter (``--arm``, spawned by the
+parent): allocator and GC state left by earlier arms measurably
+inflates later cold timings when arms share a process (>2x at the 10^7
+scale), and a clean process is what the cold-cycle claim is about.
+Timed arms additionally repeat 2-3x keeping the best run (the work is
+deterministic; run-to-run spread is scheduler/steal noise on a shared
+host, so the minimum estimates intrinsic cost — all repeats are
+recorded in the JSON).
+
+Run as a script to emit ``BENCH_shards.json``::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py [--quick]
+
+or through pytest like the other benchmarks (quick scale).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time as _time
+from pathlib import Path
+
+import repro
+from repro.core.config import BDSConfig
+from repro.core.controller import BDSController
+from repro.net.simulator import SimConfig, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import MB, MBps
+
+RESULT_FORMAT_VERSION = 1
+
+#: Stated sharded-quality tolerance: mean relative completion-time delta
+#: vs the single controller at the quality scale (measured range is
+#: -6% .. +2.5% across shard counts; see the module docstring).
+QUALITY_TOLERANCE = 0.03
+RECONCILE_OVERHEAD_CEILING = 0.10
+DT_SECONDS = 3.0
+#: Process-mode floor, asserted only on hosts with >= this many CPUs.
+PROCESS_MODE_MIN_CPUS = 4
+PROCESS_SPEEDUP_FLOOR = 1.2
+#: Per-cycle selection cap for the 10^7 timed arms (all shard counts):
+#: far above what the scenario network can deliver per ΔT, so it never
+#: binds the physics, but it keeps directive-object churn from
+#: swamping the working-set scan those arms measure.
+TIMED_ARM_CAP = 20_000
+
+NUM_DCS = 5
+SERVERS_PER_DC = 4
+DST_DCS = NUM_DCS - 1  # pairs = jobs * blocks_per_job * DST_DCS
+
+# (label, jobs, blocks_per_job) -> pairs = jobs * blocks * 4
+FULL_SCALES = {
+    "1e5": (16, 1_563),
+    "1e6": (32, 7_813),
+    "1e7": (64, 39_063),
+}
+QUICK_SCALES = {
+    "2e4": (8, 625),
+}
+
+
+def build_scenario(num_jobs: int, blocks_per_job: int):
+    topo = Topology.full_mesh(
+        num_dcs=NUM_DCS,
+        servers_per_dc=SERVERS_PER_DC,
+        wan_capacity=500 * MBps,
+        uplink=25 * MBps,
+    )
+    jobs = []
+    for j in range(num_jobs):
+        src = f"dc{j % NUM_DCS}"
+        job = MulticastJob(
+            job_id=f"shard-bench-{j}",
+            src_dc=src,
+            dst_dcs=tuple(
+                f"dc{i}" for i in range(NUM_DCS) if f"dc{i}" != src
+            ),
+            total_bytes=blocks_per_job * 2 * MB,
+            block_size=2 * MB,
+        )
+        job.bind(topo)
+        jobs.append(job)
+    return topo, jobs
+
+
+def timed_cycles(
+    num_jobs: int,
+    blocks: int,
+    shards: int,
+    stride: int,
+    cycles: int,
+    cap: int = 0,
+) -> dict:
+    """Run ``cycles`` fixed tick cycles; report controller-wall stats.
+
+    ``cap`` is ``max_blocks_per_cycle`` (0 = uncapped, the production
+    default; the 10^7 arms cap — see the module docstring).
+    """
+    topo, jobs = build_scenario(num_jobs, blocks)
+    controller = BDSController(
+        BDSConfig(
+            shards=shards,
+            shard_stride=stride,
+            max_blocks_per_cycle=cap,
+        )
+    )
+    sim = Simulation(
+        topology=topo,
+        jobs=jobs,
+        strategy=controller,
+        config=SimConfig(
+            event_engine=False,
+            max_cycles=cycles,
+            stop_when_complete=False,
+        ),
+        seed=0,
+    )
+    started = _time.perf_counter()
+    result = sim.run()
+    wall = _time.perf_counter() - started
+    walls = [s.time_decide for s in result.cycle_stats]
+    reconcile = [s.time_reconcile for s in result.cycle_stats]
+    return {
+        "shards": shards,
+        "stride": stride,
+        "cycles": len(result.cycle_stats),
+        "max_cycle_wall_s": max(walls, default=0.0),
+        "mean_cycle_wall_s": sum(walls) / len(walls) if walls else 0.0,
+        "total_decide_s": sum(walls),
+        "total_reconcile_s": sum(reconcile),
+        "reconcile_fraction": (
+            sum(reconcile) / sum(walls) if sum(walls) > 0 else 0.0
+        ),
+        "run_wall_s": wall,
+        "shard_wall_max_s": max(
+            (s.time_shard_max for s in result.cycle_stats), default=0.0
+        ),
+    }
+
+
+def quality_arm(num_jobs: int, blocks: int, shards: int) -> dict:
+    """Run to completion (stride=1); report per-job completion times."""
+    topo, jobs = build_scenario(num_jobs, blocks)
+    controller = BDSController(BDSConfig(shards=shards))
+    sim = Simulation(
+        topology=topo,
+        jobs=jobs,
+        strategy=controller,
+        config=SimConfig(event_engine=True),
+        seed=0,
+    )
+    result = sim.run()
+    return {
+        "shards": shards,
+        "all_complete": result.all_complete,
+        "job_completion": dict(result.job_completion),
+        "mean_completion_s": (
+            sum(result.job_completion.values()) / len(result.job_completion)
+            if result.job_completion
+            else 0.0
+        ),
+    }
+
+
+def quality_delta(base: dict, sharded: dict) -> float:
+    """Mean relative per-job completion-time delta vs the baseline."""
+    deltas = []
+    for job_id, t_base in base["job_completion"].items():
+        t_shard = sharded["job_completion"][job_id]
+        deltas.append((t_shard - t_base) / t_base if t_base else 0.0)
+    return sum(deltas) / len(deltas) if deltas else 0.0
+
+
+def process_mode_arm(
+    num_jobs: int, blocks: int, shards: int, cycles: int
+) -> dict:
+    """Wall-clock of process fan-out vs in-process at one scale."""
+    out = {}
+    for mode in ("inprocess", "process"):
+        topo, jobs = build_scenario(num_jobs, blocks)
+        controller = BDSController(
+            BDSConfig(
+                shards=shards,
+                shard_mode=mode,
+                max_blocks_per_cycle=TIMED_ARM_CAP,
+            )
+        )
+        sim = Simulation(
+            topology=topo,
+            jobs=jobs,
+            strategy=controller,
+            config=SimConfig(
+                event_engine=False,
+                max_cycles=cycles,
+                stop_when_complete=False,
+            ),
+            seed=0,
+        )
+        started = _time.perf_counter()
+        result = sim.run()
+        controller.shutdown()
+        out[mode] = {
+            "total_decide_s": sum(s.time_decide for s in result.cycle_stats),
+            "run_wall_s": _time.perf_counter() - started,
+        }
+    out["speedup"] = (
+        out["inprocess"]["total_decide_s"] / out["process"]["total_decide_s"]
+        if out["process"]["total_decide_s"] > 0
+        else 0.0
+    )
+    return out
+
+
+#: Arm kind -> callable; each runs in its own interpreter (see below).
+ARM_KINDS = {
+    "timed": timed_cycles,
+    "quality": quality_arm,
+    "process_mode": process_mode_arm,
+}
+
+
+def run_arm(kind: str, repeats: int = 1, **kwargs) -> dict:
+    """Run one arm in a fresh interpreter and return its result dict.
+
+    Arms measure cold cycles, and a cold cycle only exists in a clean
+    process: allocator arenas and GC generations grown by earlier arms
+    inflate later cold timings by >2x at the 10^7 scale when everything
+    shares one interpreter.
+
+    ``repeats`` > 1 (timed arms) runs the arm that many times and keeps
+    the run with the smallest max cycle wall: the work is deterministic,
+    so run-to-run spread is pure scheduler/steal noise from the shared
+    host and the minimum is the robust estimator of intrinsic cost. All
+    repeats' maxima are recorded in the result for inspection.
+    """
+    spec = {"kind": kind, **kwargs}
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    best = None
+    repeat_maxes = []
+    for _ in range(max(1, repeats)):
+        proc = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()), "--arm",
+             json.dumps(spec)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=False,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"bench arm {spec} failed:\n{proc.stderr[-2000:]}"
+            )
+        result = json.loads(proc.stdout)
+        if kind != "timed":
+            return result
+        repeat_maxes.append(result["max_cycle_wall_s"])
+        if (
+            best is None
+            or result["max_cycle_wall_s"] < best["max_cycle_wall_s"]
+        ):
+            best = result
+    if len(repeat_maxes) > 1:
+        best["repeat_max_walls_s"] = repeat_maxes
+    return best
+
+
+def run_bench(quick: bool, with_process_mode: bool = False) -> dict:
+    scales = QUICK_SCALES if quick else FULL_SCALES
+    payload = {
+        "format_version": RESULT_FORMAT_VERSION,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "dt_seconds": DT_SECONDS,
+        "quality_tolerance": QUALITY_TOLERANCE,
+        "scales": {},
+    }
+
+    for label, (num_jobs, blocks) in scales.items():
+        pairs = num_jobs * blocks * DST_DCS
+        entry = {"pairs": pairs, "jobs": num_jobs, "blocks_per_job": blocks}
+        if label == "1e7":
+            # Single-controller baseline: one cold cycle is enough to
+            # show the ΔT blow-through; sharded arms run a full stagger.
+            entry["curve"] = [
+                run_arm(
+                    "timed",
+                    repeats=3,
+                    num_jobs=num_jobs,
+                    blocks=blocks,
+                    shards=1,
+                    stride=1,
+                    cycles=1,
+                    cap=TIMED_ARM_CAP,
+                )
+            ]
+            for shards in (8, 16):
+                entry["curve"].append(
+                    run_arm(
+                        "timed",
+                        repeats=3,
+                        num_jobs=num_jobs,
+                        blocks=blocks,
+                        shards=shards,
+                        stride=shards,
+                        cycles=shards + 2,
+                        cap=TIMED_ARM_CAP,
+                    )
+                )
+        else:
+            shard_counts = (1, 2, 4) if quick else (1, 2, 4, 8)
+            entry["curve"] = [
+                run_arm(
+                    "timed",
+                    repeats=1 if quick else 2,
+                    num_jobs=num_jobs,
+                    blocks=blocks,
+                    shards=shards,
+                    stride=max(1, shards),
+                    cycles=max(6, shards + 2),
+                )
+                for shards in shard_counts
+            ]
+        payload["scales"][label] = entry
+
+    # Quality arms at the smallest scale (stride=1, run to completion).
+    label = "2e4" if quick else "1e5"
+    num_jobs, blocks = scales[label]
+    base = run_arm("quality", num_jobs=num_jobs, blocks=blocks, shards=1)
+    quality = {"baseline_mean_completion_s": base["mean_completion_s"]}
+    for shards in (2, 4):
+        arm = run_arm(
+            "quality", num_jobs=num_jobs, blocks=blocks, shards=shards
+        )
+        quality[f"shards_{shards}"] = {
+            "all_complete": arm["all_complete"],
+            "mean_completion_s": arm["mean_completion_s"],
+            "mean_delta": quality_delta(base, arm),
+        }
+    payload["quality"] = quality
+
+    if with_process_mode:
+        num_jobs, blocks = scales["2e4" if quick else "1e6"]
+        payload["process_mode"] = run_arm(
+            "process_mode",
+            num_jobs=num_jobs,
+            blocks=blocks,
+            shards=4,
+            cycles=6,
+        )
+
+    return payload
+
+
+def format_report(payload: dict) -> str:
+    lines = [
+        f"[shard scaling] quick={payload['quick']} "
+        f"cpus={payload['cpu_count']}"
+    ]
+    for label, entry in payload["scales"].items():
+        lines.append(f"scale {label}: {entry['pairs']} pairs")
+        for arm in entry["curve"]:
+            lines.append(
+                f"  shards={arm['shards']:<3} stride={arm['stride']:<3} "
+                f"max cycle wall {arm['max_cycle_wall_s']:.3f}s  "
+                f"mean {arm['mean_cycle_wall_s']:.3f}s  "
+                f"reconcile {arm['total_reconcile_s']*1e3:.2f}ms "
+                f"({arm['reconcile_fraction']:.2%} of decide)"
+            )
+    q = payload["quality"]
+    lines.append(
+        f"quality: baseline mean completion "
+        f"{q['baseline_mean_completion_s']:.1f}s"
+    )
+    for key, arm in q.items():
+        if key.startswith("shards_"):
+            lines.append(
+                f"  {key}: mean {arm['mean_completion_s']:.1f}s "
+                f"(delta {arm['mean_delta']:+.2%}, "
+                f"complete={arm['all_complete']})"
+            )
+    if "process_mode" in payload:
+        pm = payload["process_mode"]
+        lines.append(
+            f"process mode: inprocess {pm['inprocess']['total_decide_s']:.3f}s "
+            f"vs process {pm['process']['total_decide_s']:.3f}s "
+            f"-> {pm['speedup']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def check_floors(payload: dict) -> list:
+    """Full-scale acceptance floors; returns failure messages."""
+    failures = []
+    curve_1e6 = payload["scales"]["1e6"]["curve"]
+    walls = [arm["max_cycle_wall_s"] for arm in curve_1e6]
+    for i in range(1, len(walls)):
+        # Monotone shard-scaling curve (10% noise slack).
+        if walls[i] > walls[i - 1] * 1.10:
+            failures.append(
+                f"10^6 curve not monotone: shards="
+                f"{curve_1e6[i]['shards']} wall {walls[i]:.3f}s > "
+                f"shards={curve_1e6[i-1]['shards']} {walls[i-1]:.3f}s"
+            )
+    for arm in curve_1e6:
+        if arm["shards"] > 1 and (
+            arm["reconcile_fraction"] > RECONCILE_OVERHEAD_CEILING
+        ):
+            failures.append(
+                f"reconcile overhead {arm['reconcile_fraction']:.2%} at "
+                f"10^6/{arm['shards']} shards exceeds "
+                f"{RECONCILE_OVERHEAD_CEILING:.0%}"
+            )
+    for arm in payload["scales"]["1e7"]["curve"]:
+        if arm["shards"] > 1 and arm["max_cycle_wall_s"] >= DT_SECONDS:
+            failures.append(
+                f"10^7 pairs with shards={arm['shards']}: max cycle wall "
+                f"{arm['max_cycle_wall_s']:.2f}s not under {DT_SECONDS}s dt"
+            )
+    for key, arm in payload["quality"].items():
+        if key.startswith("shards_"):
+            if not arm["all_complete"]:
+                failures.append(f"quality arm {key} did not complete")
+            elif arm["mean_delta"] > QUALITY_TOLERANCE:
+                failures.append(
+                    f"quality {key}: mean completion delta "
+                    f"{arm['mean_delta']:+.2%} over the "
+                    f"{QUALITY_TOLERANCE:.0%} tolerance"
+                )
+    if "process_mode" in payload:
+        pm = payload["process_mode"]
+        if pm["speedup"] < PROCESS_SPEEDUP_FLOOR:
+            failures.append(
+                f"process-mode speedup {pm['speedup']:.2f}x below "
+                f"{PROCESS_SPEEDUP_FLOOR}x on a "
+                f"{payload['cpu_count']}-CPU host"
+            )
+    return failures
+
+
+def test_shard_scaling_quick(benchmark, report):
+    """Pytest entry: quick-scale smoke — sharded arms run and complete."""
+    payload = benchmark.pedantic(
+        lambda: run_bench(quick=True), rounds=1, iterations=1
+    )
+    report("\n" + format_report(payload))
+    curve = payload["scales"]["2e4"]["curve"]
+    assert [arm["shards"] for arm in curve] == [1, 2, 4]
+    for arm in curve:
+        assert arm["cycles"] > 0
+        assert arm["reconcile_fraction"] < 0.5
+    for key, arm in payload["quality"].items():
+        if key.startswith("shards_"):
+            assert arm["all_complete"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small state for CI smoke runs (no floors asserted)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_shards.json",
+        help="where to write the JSON result (default: ./BENCH_shards.json)",
+    )
+    parser.add_argument(
+        "--arm",
+        metavar="SPEC",
+        help="internal: run one arm from a JSON spec and print its result",
+    )
+    args = parser.parse_args(argv)
+
+    if args.arm:
+        spec = json.loads(args.arm)
+        fn = ARM_KINDS[spec.pop("kind")]
+        print(json.dumps(fn(**spec)))
+        return 0
+
+    cpus = os.cpu_count() or 1
+    with_process = not args.quick and cpus >= PROCESS_MODE_MIN_CPUS
+    payload = run_bench(quick=args.quick, with_process_mode=with_process)
+    print(format_report(payload))
+
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+
+    if args.quick:
+        return 0
+    failures = check_floors(payload)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

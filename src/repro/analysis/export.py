@@ -25,16 +25,18 @@ from repro.net.simulator import CycleStats, SimResult
 
 PathLike = Union[str, Path]
 
-EXPORT_FORMAT_VERSION = 6
+EXPORT_FORMAT_VERSION = 7
 
 #: Versions :func:`result_from_dict` can restore. v3 payloads predate the
 #: routing-solver telemetry (iterations/phases/warm_start), v4 payloads
 #: predate the data-plane fields (stage ``deliver_apply``, per-cycle
-#: ``rate_stalemates``), and v5 payloads predate the event-engine
+#: ``rate_stalemates``), v5 payloads predate the event-engine
 #: accounting (per-cycle ``decision_reused``/``fast_forwarded``, top-level
-#: ``cycles_decision_reused``/``cycles_fast_forwarded``); all simply
+#: ``cycles_decision_reused``/``cycles_fast_forwarded``), and v6 payloads
+#: predate the sharded control-plane telemetry (per-cycle ``sharding``
+#: subdict: shard count, per-shard walls, reconciliation wall); all simply
 #: restore to the zero/false defaults.
-_READABLE_VERSIONS = (3, 4, 5, 6)
+_READABLE_VERSIONS = (3, 4, 5, 6, 7)
 
 
 def _resource_to_str(key) -> str:
@@ -109,6 +111,12 @@ def result_to_dict(result: SimResult, include_cycles: bool = True) -> Dict[str, 
                 },
                 "decision_reused": s.decision_reused,
                 "fast_forwarded": s.fast_forwarded,
+                "sharding": {
+                    "shard_count": s.shard_count,
+                    "shard_max": s.time_shard_max,
+                    "shard_mean": s.time_shard_mean,
+                    "reconcile": s.time_reconcile,
+                },
             }
             for s in result.cycle_stats
         ]
@@ -148,6 +156,7 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
     for entry in payload.get("cycles", []):
         stage = entry.get("stage_times", {})
         solver = entry.get("routing_solver", {})
+        sharding = entry.get("sharding", {})
         cycle_stats.append(
             CycleStats(
                 cycle=entry["cycle"],
@@ -178,6 +187,10 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
                 routing_warm_start=solver.get("warm_start", ""),
                 decision_reused=entry.get("decision_reused", False),
                 fast_forwarded=entry.get("fast_forwarded", False),
+                shard_count=sharding.get("shard_count", 0),
+                time_shard_max=sharding.get("shard_max", 0.0),
+                time_shard_mean=sharding.get("shard_mean", 0.0),
+                time_reconcile=sharding.get("reconcile", 0.0),
             )
         )
     return SimResult(

@@ -63,7 +63,10 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: fast-forward) became the default engine and exports moved to format
 #: v6. Fingerprints are asserted identical to the tick loop, but the
 #: default path is new, so cached runs are re-validated once.
-CACHE_CODE_VERSION = "sim-v5"
+#: sim-v6: the sharded control plane landed (shards=1 stays bit-identical
+#: on the single-controller path) and exports moved to format v7
+#: (per-cycle sharding telemetry), so cached payloads are refreshed once.
+CACHE_CODE_VERSION = "sim-v6"
 
 
 def _topology_payload(topology: Topology) -> Dict[str, Any]:

@@ -89,6 +89,10 @@ def run_simulation(
     vectorized_flow: bool = True,
     event_engine: bool = True,
     record_cycle_stats: bool = True,
+    shards: int = 1,
+    shard_seed: int = 0,
+    shard_stride: int = 1,
+    shard_mode: str = "inprocess",
 ) -> SimResult:
     """Run one strategy over the given jobs and return the result.
 
@@ -99,7 +103,27 @@ def run_simulation(
     hand-building a :class:`Simulation`. ``record_cycle_stats=False``
     drops the per-cycle records for day-scale horizons where the stats
     list would dominate memory.
+
+    ``shards``/``shard_seed``/``shard_stride``/``shard_mode`` configure
+    the sharded control plane (BDS strategies only; see
+    :class:`BDSConfig`). Non-default values are overlaid onto ``config``
+    — explicit shard fields in a caller-supplied config win only when
+    the keyword is left at its default.
     """
+    if (shards, shard_seed, shard_stride, shard_mode) != (1, 0, 1, "inprocess"):
+        import dataclasses
+
+        base = config or BDSConfig()
+        updates = {}
+        if shards != 1:
+            updates["shards"] = shards
+        if shard_seed != 0:
+            updates["shard_seed"] = shard_seed
+        if shard_stride != 1:
+            updates["shard_stride"] = shard_stride
+        if shard_mode != "inprocess":
+            updates["shard_mode"] = shard_mode
+        config = dataclasses.replace(base, **updates)
     strategy = make_strategy(strategy_name, seed=seed, config=config)
     sim = Simulation(
         topology=topology,
@@ -124,7 +148,14 @@ def run_simulation(
         failures=failures,
         seed=seed,
     )
-    return sim.run()
+    try:
+        return sim.run()
+    finally:
+        # Release any process fan-out workers the strategy holds
+        # (sharded controller in shard_mode="process"; no-op otherwise).
+        shutdown = getattr(strategy, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
 
 
 def compare_strategies(

@@ -64,6 +64,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "of the event-driven core; results are bit-identical",
     )
     sim.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="number of concurrent multicast jobs (sources rotate across "
+        "DCs); sharding partitions by job, so >1 makes --shards meaningful",
+    )
+    sim.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="controller shards: partition jobs across this many "
+        "schedule+route pipelines with WAN-capacity reconciliation "
+        "(1 = single controller, bit-identical to before the knob)",
+    )
+    sim.add_argument(
+        "--shard-stride",
+        type=int,
+        default=1,
+        help="shard decide cadence: shard s re-decides only on cycles "
+        "with cycle %% stride == s %% stride, replaying its cached "
+        "directives in between (1 = every shard every cycle)",
+    )
+    sim.add_argument(
         "--json", default=None, help="write a JSON result export to this path"
     )
 
@@ -135,23 +158,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         wan_capacity=parse_rate(args.wan),
         uplink=parse_rate(args.nic),
     )
-    dsts = tuple(f"dc{i}" for i in range(1, args.num_dcs))
-    job = MulticastJob(
-        job_id="cli",
-        src_dc="dc0",
-        dst_dcs=dsts,
-        total_bytes=parse_size(args.size),
-        block_size=parse_size(args.block_size),
-    )
-    job.bind(topo)
+    jobs = []
+    for j in range(max(1, args.jobs)):
+        src = f"dc{j % args.num_dcs}"
+        job = MulticastJob(
+            job_id="cli" if args.jobs <= 1 else f"cli{j}",
+            src_dc=src,
+            dst_dcs=tuple(
+                f"dc{i}" for i in range(args.num_dcs) if f"dc{i}" != src
+            ),
+            total_bytes=parse_size(args.size),
+            block_size=parse_size(args.block_size),
+        )
+        job.bind(topo)
+        jobs.append(job)
     result = run_simulation(
         topo,
-        [job],
+        jobs,
         args.strategy,
         cycle_seconds=args.cycle,
         max_cycles=args.max_cycles,
         seed=args.seed,
         event_engine=not args.tick_engine,
+        shards=args.shards,
+        shard_stride=args.shard_stride,
     )
     if args.json:
         from repro.analysis.export import save_result
@@ -159,13 +189,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         save_result(result, args.json)
         print(f"result export written to {args.json}")
     if not result.all_complete:
-        print(f"job did not complete within {args.max_cycles} cycles")
+        print(f"jobs did not complete within {args.max_cycles} cycles")
         return 1
-    times = result.server_completion_times("cli")
+    times = [
+        t
+        for job in jobs
+        for t in result.server_completion_times(job.job_id)
+    ]
     stats = summarize(times)
+    completion = max(result.completion_time(job.job_id) for job in jobs)
     print(f"strategy          : {args.strategy}")
-    print(f"completion        : {format_duration(result.completion_time('cli'))}")
+    print(f"completion        : {format_duration(completion)}")
     print(f"cycles            : {result.cycles_run}")
+    if args.shards > 1:
+        print(f"controller shards : {args.shards} (stride {args.shard_stride})")
     if result.cycles_decision_reused or result.cycles_fast_forwarded:
         print(
             "event engine      : "

@@ -52,8 +52,53 @@ def residual_budgets(
     return np.maximum(0.0, threshold * capacities - online_usage)
 
 
+class LinkBudgets(Mapping):
+    """Array-backed per-link budget mapping.
+
+    A read-only ``Mapping[ResourceKey, float]`` whose values live in one
+    ``float64`` array aligned with an interned key list — so the flow
+    kernels (:class:`repro.lp.incidence.FlowIncidence` consumes any
+    Mapping) and the sharded controller's reconciliation pass share one
+    representation, and consumers needing the raw array
+    (``.array`` / ``.keys_list``) skip the per-key dict hops entirely.
+    ``__getitem__`` hands back Python floats, matching the values the
+    old dict carried bit-for-bit.
+    """
+
+    __slots__ = ("keys_list", "index", "array")
+
+    def __init__(
+        self,
+        keys_list: List[ResourceKey],
+        index: Dict[ResourceKey, int],
+        array: np.ndarray,
+    ) -> None:
+        self.keys_list = keys_list
+        self.index = index
+        self.array = array
+
+    def __getitem__(self, key: ResourceKey) -> float:
+        return float(self.array[self.index[key]])
+
+    def __iter__(self):
+        return iter(self.keys_list)
+
+    def __len__(self) -> int:
+        return len(self.keys_list)
+
+    def __contains__(self, key) -> bool:
+        return key in self.index
+
+
 class NetworkMonitor:
-    """Per-link view of online traffic and bulk budgets (Fig. 8, step 3)."""
+    """Per-link view of online traffic and bulk budgets (Fig. 8, step 3).
+
+    The link-key list, the interned key→row index, and the capacity
+    array are cached per :attr:`Topology.epoch` — they only change when
+    the topology itself does — so the per-cycle cost of
+    :meth:`bulk_budgets` is two array fills and one elementwise pass,
+    not a dict rebuild.
+    """
 
     def __init__(
         self,
@@ -65,37 +110,66 @@ class NetworkMonitor:
         self.topology = topology
         self.background = background
         self.threshold = threshold
+        self._keys_epoch = -1
+        self._keys: List[ResourceKey] = []
+        self._index: Dict[ResourceKey, int] = {}
+        self._caps = np.empty(0, dtype=np.float64)
+
+    def _interned_links(
+        self,
+    ) -> Tuple[List[ResourceKey], Dict[ResourceKey, int], np.ndarray]:
+        """(keys, key→row index, capacity array), rebuilt per topology epoch."""
+        epoch = getattr(self.topology, "epoch", None)
+        if epoch is None or epoch != self._keys_epoch:
+            keys = list(self.topology.links)
+            self._keys = keys
+            self._index = {k: i for i, k in enumerate(keys)}
+            self._caps = np.fromiter(
+                (self.topology.links[k].capacity for k in keys),
+                dtype=np.float64,
+                count=len(keys),
+            )
+            self._keys_epoch = -1 if epoch is None else epoch
+        return self._keys, self._index, self._caps
 
     def online_usage(self, time_s: float) -> Dict[ResourceKey, float]:
         """Latency-sensitive bytes/second on every WAN link at ``time_s``."""
-        usage: Dict[ResourceKey, float] = {}
-        for key, link in self.topology.links.items():
-            usage[key] = (
-                self.background.usage(key, time_s, link.capacity)
-                if self.background
-                else 0.0
-            )
-        return usage
+        keys, _index, caps = self._interned_links()
+        if not self.background:
+            return dict.fromkeys(keys, 0.0)
+        bg = self.background
+        return {
+            key: bg.usage(key, time_s, float(caps[i]))
+            for i, key in enumerate(keys)
+        }
 
-    def bulk_budgets(self, time_s: float) -> Dict[ResourceKey, float]:
-        """Residual bulk budget for every WAN link at ``time_s``.
-
-        Computed through the array form (:func:`residual_budgets`) — one
-        vectorized pass instead of a per-link validate-and-max loop, with
-        bit-identical values (``.tolist()`` hands back Python floats).
-        """
-        online = self.online_usage(time_s)
-        keys = list(self.topology.links)
-        caps = np.fromiter(
-            (self.topology.links[k].capacity for k in keys),
+    def online_usage_array(self, time_s: float) -> np.ndarray:
+        """:meth:`online_usage` as a float64 array over the interned keys."""
+        keys, _index, caps = self._interned_links()
+        if not self.background:
+            return np.zeros(len(keys), dtype=np.float64)
+        bg = self.background
+        return np.fromiter(
+            (
+                bg.usage(key, time_s, float(caps[i]))
+                for i, key in enumerate(keys)
+            ),
             dtype=np.float64,
             count=len(keys),
         )
-        used = np.fromiter(
-            (online[k] for k in keys), dtype=np.float64, count=len(keys)
-        )
+
+    def bulk_budgets(self, time_s: float) -> LinkBudgets:
+        """Residual bulk budget for every WAN link at ``time_s``.
+
+        Computed through the array form (:func:`residual_budgets`) over
+        the epoch-cached capacity array, returned as an array-backed
+        :class:`LinkBudgets` (a read-only Mapping: values bit-identical
+        to the dict this method used to build).
+        """
+        keys, index, caps = self._interned_links()
+        used = self.online_usage_array(time_s)
         vals = residual_budgets(caps, used, self.threshold)
-        return dict(zip(keys, vals.tolist()))
+        return LinkBudgets(keys, index, vals)
 
 
 class BandwidthEnforcer:

@@ -12,6 +12,7 @@ from repro.overlay.blocks import DEFAULT_BLOCK_SIZE
 from repro.utils.validation import check_fraction, check_positive
 
 ROUTING_BACKENDS = ("fptas", "lp", "greedy")
+SHARD_MODES = ("inprocess", "process")
 
 
 @dataclass
@@ -53,6 +54,34 @@ class BDSConfig:
     # Schedule placements onto jobs' relay DCs (Type I path diversity
     # through non-destination DCs).
     use_relays: bool = True
+    # Sharded control plane (ROADMAP "sharded multi-controller
+    # scale-out"): partition the job set across this many controller
+    # shards by a platform-stable seeded hash of job id
+    # (repro.core.sharding). Each shard runs the full vectorized
+    # schedule+route pipeline on its own partition with its own
+    # CycleCache and FPTAS warm store; the shared link budgets are
+    # reconciled by one outer max-min waterfill over all shards'
+    # directives (repro.net.flow.max_min_fair_rates, the data plane's
+    # own allocator). 1 keeps the single-controller path, bit-identical
+    # to before the shards knob existed.
+    shards: int = 1
+    # Seed of the job→shard hash (re-spreads a colliding workload
+    # without renaming jobs).
+    shard_seed: int = 0
+    # Shard decide cadence: shard s re-runs schedule+route only on
+    # cycles with cycle % stride == s % stride and replays its cached
+    # directives (demands refreshed by the simulator) in between. 1 =
+    # every shard decides every cycle (no staleness). Strides > 1 cap
+    # the per-cycle controller wall at roughly ceil(shards/stride)
+    # shards' worth of work — the knob that fits 10⁷ pairs inside ΔT on
+    # one core — at the cost of newly pending work waiting up to
+    # stride-1 cycles for its shard's turn.
+    shard_stride: int = 1
+    # Shard execution: "inprocess" loops over shards in index order;
+    # "process" fans decides over one persistent single-worker process
+    # per shard (pickle-pure payloads, deterministic shard-order
+    # gather). Results are identical either way.
+    shard_mode: str = "inprocess"
 
     def __post_init__(self) -> None:
         if self.speculation_horizon < 0:
@@ -68,4 +97,13 @@ class BDSConfig:
             raise ValueError(
                 f"routing_backend must be one of {ROUTING_BACKENDS}, "
                 f"got {self.routing_backend!r}"
+            )
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_stride < 1:
+            raise ValueError("shard_stride must be >= 1")
+        if self.shard_mode not in SHARD_MODES:
+            raise ValueError(
+                f"shard_mode must be one of {SHARD_MODES}, "
+                f"got {self.shard_mode!r}"
             )

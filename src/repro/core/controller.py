@@ -6,11 +6,31 @@ transfer directives for the agents. When the controller is unreachable
 (all replicas down or the DC partitioned away), agents *fall back to the
 decentralized overlay protocol* — Gingko — ensuring graceful degradation
 (§5.3); performance recovers the cycle the controller returns (Fig. 12a).
+
+**Sharded control plane** (``BDSConfig.shards > 1``): the job set is
+partitioned across controller shards by a platform-stable seeded hash of
+job id (:mod:`repro.core.sharding`). Jobs are independent except for WAN
+link budgets — blocks belong to exactly one job, so possession,
+scheduling, and routing all decompose — and each shard runs the full
+vectorized schedule+route pipeline on its own partition with its own
+:class:`~repro.net.cycle_cache.CycleCache` and FPTAS warm store. The
+shared capacities are resolved afterwards by one outer max-min
+waterfill (:func:`repro.net.flow.max_min_fair_rates` — the data plane's
+own allocator) over every shard's directives against the
+budget-adjusted capacities, so no directive's cap exceeds its global
+fair share and the Fig. 10 "sum of assigned rates never exceeds the
+budget" property holds at the controller output already.
+``shards=1`` takes the original
+single-controller path, bit-identical to before the knob existed;
+``shards=k`` is deterministic (shards are combined in index order,
+independent of execution mode or worker scheduling).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import time as _time
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
 
 from repro.baselines.base import OverlayStrategy
 from repro.baselines.gingko import GingkoStrategy
@@ -18,9 +38,45 @@ from repro.core.config import BDSConfig
 from repro.core.decisions import ControlDecision
 from repro.core.routing import BDSRouter
 from repro.core.scheduling import RarestFirstScheduler
+from repro.core.sharding import stable_shard
 from repro.core.speculation import DeliverySpeculator, SpeculatedView
+from repro.net.cycle_cache import CycleCache
 from repro.net.simulator import ClusterView, TransferDirective
 from repro.utils.rng import SeedLike
+
+
+class _ShardPipeline:
+    """One shard's private control pipeline plus its replay state.
+
+    Each shard owns a scheduler, a router (with its own FPTAS warm
+    store), and a persistent :class:`CycleCache` — nothing here is
+    shared across shards, so in-process shard execution in index order
+    and process fan-out produce identical state evolution.
+
+    ``directives`` / ``context`` implement the stride cadence
+    (``BDSConfig.shard_stride``): between a shard's decide turns its
+    last fresh directives are replayed verbatim (the simulator
+    re-validates them and refreshes their demands every cycle, exactly
+    as the event engine's decision reuse does), and any change of the
+    failure/topology context forces an immediate fresh decide.
+    """
+
+    __slots__ = ("scheduler", "router", "cache", "directives", "context")
+
+    def __init__(self, config: BDSConfig) -> None:
+        self.scheduler = RarestFirstScheduler(
+            max_blocks_per_cycle=config.max_blocks_per_cycle,
+            use_relays=config.use_relays,
+        )
+        self.router = BDSRouter(
+            backend=config.routing_backend,
+            epsilon=config.epsilon,
+            max_sources_per_group=config.max_sources_per_group,
+            merge_blocks=config.merge_blocks,
+        )
+        self.cache = CycleCache()
+        self.directives: Optional[List[TransferDirective]] = None
+        self.context: Optional[tuple] = None
 
 
 class BDSController(OverlayStrategy):
@@ -66,11 +122,37 @@ class BDSController(OverlayStrategy):
             else None
         )
         self._previous_directives: List[TransferDirective] = []
+        # Sharded control plane (shards > 1): per-shard pipelines, the
+        # memoized job→shard assignment, and the lazily started process
+        # fan-out (shard_mode == "process").
+        self._pipelines: List[_ShardPipeline] = (
+            [_ShardPipeline(self.config) for _ in range(self.config.shards)]
+            if self.config.shards > 1
+            else []
+        )
+        self._shard_assign: dict = {}
+        self._shard_executor = None
 
     @property
     def fallback_active(self) -> bool:
         """Whether the last cycle ran on the decentralized fallback."""
         return self._fallback_active
+
+    @property
+    def shard_signature(self) -> Optional[Tuple[int, int, int]]:
+        """Sharding identity for the event engine's validity key.
+
+        ``(shards, shard_seed, shard_stride)`` when sharded, ``None`` on
+        the single-controller path — so a decision cached under one
+        shard layout is never replayed under another.
+        """
+        if self.config.shards <= 1:
+            return None
+        return (
+            self.config.shards,
+            self.config.shard_seed,
+            self.config.shard_stride,
+        )
 
     def decide(self, view: ClusterView) -> List[TransferDirective]:
         """One control cycle: schedule, route, emit directives.
@@ -117,6 +199,9 @@ class BDSController(OverlayStrategy):
             if speculated:
                 view = SpeculatedView(view, speculated)
 
+        if self.config.shards > 1:
+            return self._decide_sharded(view, fallback_directives)
+
         selections = self.scheduler.select(view)
         directives, diagnostics = self.router.route(
             view,
@@ -150,6 +235,253 @@ class BDSController(OverlayStrategy):
         self._previous_directives = directives
         return directives + fallback_directives
 
+    # -- sharded control plane -------------------------------------------------
+
+    def _decide_sharded(
+        self,
+        view: ClusterView,
+        fallback_directives: List[TransferDirective],
+    ) -> List[TransferDirective]:
+        """Partitioned decide: per-shard pipelines + WAN reconciliation."""
+        cfg = self.config
+        k = cfg.shards
+        stride = cfg.shard_stride
+        assign = self._shard_assign
+        buckets: List[List] = [[] for _ in range(k)]
+        for job in view.jobs:
+            s = assign.get(job.job_id)
+            if s is None:
+                s = stable_shard(job.job_id, k, cfg.shard_seed)
+                assign[job.job_id] = s
+            buckets[s].append(job)
+
+        # Exactness witness: a speculation overlay wraps the store, so
+        # the persistent per-shard caches (whose memos answer for the
+        # real store) must not be used for its sub-views.
+        exact = view.store is getattr(view, "_map_store", None)
+        context = (view._failed_frozen, view.failed_links, view.topology.epoch)
+
+        due: List[int] = []
+        replayed = False
+        for s in range(k):
+            pipe = self._pipelines[s]
+            if not buckets[s]:
+                # Shard has no active jobs: nothing to decide or replay.
+                pipe.directives = []
+                pipe.context = context
+                continue
+            # A shard decides on its stride turn; off-turn it replays its
+            # cached directives — or contributes nothing if it has not
+            # had a turn yet (staggered cold start: this is what bounds
+            # the per-cycle controller wall to ~ceil(k/stride) shards'
+            # work even on cycle 0). Two events break the cadence: a
+            # failure/topology context change invalidates cached
+            # directives (refresh immediately rather than replay stale
+            # ones), and a speculation overlay (``not exact``) makes
+            # every cycle's view bespoke.
+            if (
+                stride <= 1
+                or view.cycle % stride == s % stride
+                or (pipe.directives is not None and pipe.context != context)
+                or not exact
+            ):
+                due.append(s)
+            else:
+                replayed = True
+
+        scheduled_blocks = 0
+        num_commodities = 0
+        objective = 0.0
+        iterations = 0
+        phases = 0
+        warm_starts: List[str] = []
+        schedule_runtime = 0.0
+        routing_runtime = 0.0
+        shard_walls: List[float] = []
+        horizons: List[Optional[int]] = []
+
+        results = None
+        if cfg.shard_mode == "process" and due and exact:
+            results = self._process_decide(view, buckets, due)
+        if results is None:
+            results = []
+            for s in due:
+                pipe = self._pipelines[s]
+                cache = pipe.cache if exact else CycleCache()
+                sub = view.with_jobs(buckets[s], cache=cache)
+                started = _time.perf_counter()
+                selections = pipe.scheduler.select(sub)
+                dirs, diag = pipe.router.route(
+                    sub, selections, batch=pipe.scheduler.last_batch
+                )
+                wall = _time.perf_counter() - started
+                results.append(
+                    _ShardOutcome(
+                        directives=dirs,
+                        scheduled_blocks=len(selections),
+                        num_commodities=diag.num_commodities,
+                        objective=diag.objective,
+                        schedule_runtime=pipe.scheduler.last_runtime,
+                        routing_runtime=diag.runtime,
+                        iterations=diag.iterations,
+                        phases=diag.phases,
+                        warm_start=diag.warm_start,
+                        reuse_horizon=diag.reuse_horizon,
+                        wall=wall,
+                    )
+                )
+
+        for s, outcome in zip(due, results):
+            pipe = self._pipelines[s]
+            pipe.directives = outcome.directives
+            pipe.context = context
+            scheduled_blocks += outcome.scheduled_blocks
+            num_commodities += outcome.num_commodities
+            objective += outcome.objective
+            iterations += outcome.iterations
+            phases += outcome.phases
+            if outcome.warm_start:
+                warm_starts.append(outcome.warm_start)
+            schedule_runtime += outcome.schedule_runtime
+            routing_runtime += outcome.routing_runtime
+            shard_walls.append(outcome.wall)
+            horizons.append(outcome.reuse_horizon)
+
+        directives: List[TransferDirective] = []
+        for pipe in self._pipelines:
+            if pipe.directives:
+                directives.extend(pipe.directives)
+
+        reconcile_started = _time.perf_counter()
+        directives, reconciled = self._reconcile_wan(view, directives)
+        reconcile_runtime = _time.perf_counter() - reconcile_started
+
+        # Replayed shards veto reuse (their cached output is not a pure
+        # function of this cycle's view), as do the single-path vetoes.
+        if replayed or fallback_directives or self._speculator is not None:
+            reuse_horizon: Optional[int] = 0
+        else:
+            reuse_horizon = None
+            for h in horizons:
+                if h == 0:
+                    reuse_horizon = 0
+                    break
+                if h is not None:
+                    reuse_horizon = (
+                        h if reuse_horizon is None else min(reuse_horizon, h)
+                    )
+
+        if not warm_starts:
+            warm_start = ""
+        elif all(w == warm_starts[0] for w in warm_starts):
+            warm_start = warm_starts[0]
+        else:
+            warm_start = "mixed"
+
+        self.decisions.append(
+            ControlDecision(
+                cycle=view.cycle,
+                directives=directives,
+                scheduled_blocks=scheduled_blocks,
+                num_commodities=num_commodities,
+                schedule_runtime=schedule_runtime,
+                routing_runtime=routing_runtime,
+                objective=objective,
+                routing_iterations=iterations,
+                routing_phases=phases,
+                routing_warm_start=warm_start,
+                reuse_horizon=reuse_horizon,
+                shard_count=k,
+                shard_wall_max=max(shard_walls, default=0.0),
+                shard_wall_mean=(
+                    sum(shard_walls) / len(shard_walls) if shard_walls else 0.0
+                ),
+                reconcile_runtime=reconcile_runtime,
+                reconciled_directives=reconciled,
+            )
+        )
+        self._previous_directives = directives
+        return directives + fallback_directives
+
+    def _reconcile_wan(
+        self,
+        view: ClusterView,
+        directives: List[TransferDirective],
+    ) -> Tuple[List[TransferDirective], int]:
+        """Outer shared-capacity reconciliation over all shards' directives.
+
+        Each shard routed against the *full* link budgets, so the
+        combined rate caps can oversubscribe shared resources. One
+        max-min waterfill (:func:`repro.net.flow.max_min_fair_rates` —
+        the data plane's own allocator) over the combined directives,
+        with each directive's requested cap as its flow cap and the
+        budget-adjusted capacities (``view.bulk_capacities``) as the
+        resource limits, rewrites every cap to at most the directive's
+        global fair share. Max-min (rather than a proportional clip)
+        matters for quality: a flow that requested no more than its fair
+        share keeps its full request, and the freed headroom goes to the
+        flows that can use it — a proportional clip starves exactly the
+        flows the single controller would have left alone, which showed
+        up as a multi-percent completion-time regression. Directives are
+        kept in shard-major order and the kernel is deterministic, so
+        the pass is too; path lookups go through ``view.flow_resources``,
+        sharing the simulator's warm path memos.
+        """
+        from repro.net.flow import Flow, max_min_fair_rates
+
+        capped: List[int] = []
+        flows: List[Flow] = []
+        requested: List[float] = []
+        for i, d in enumerate(directives):
+            if d.rate_cap is None:
+                continue
+            res = view.flow_resources(d.src_server, d.dst_server)
+            if res is None:
+                continue  # partitioned off; the simulator drops it too
+            flows.append(
+                Flow(flow_id=len(capped), resources=res, rate_cap=d.rate_cap)
+            )
+            capped.append(i)
+            requested.append(d.rate_cap)
+        if len(capped) <= 1:
+            return directives, 0
+        rates = max_min_fair_rates(flows, view.bulk_capacities)
+        reconciled = 0
+        out = list(directives)
+        for j, i in enumerate(capped):
+            new_cap = float(rates[j])
+            if new_cap < requested[j]:
+                out[i] = replace(out[i], rate_cap=new_cap)
+                reconciled += 1
+        return out, reconciled
+
+    def _process_decide(self, view: ClusterView, buckets, due: List[int]):
+        """Fan the due shards' decides over persistent worker processes.
+
+        Returns the per-shard outcomes in ``due`` order, or ``None`` to
+        fall back to the in-process loop (worker pool unavailable or
+        broken — the in-process path is always correct).
+        """
+        from repro.core.shardexec import ShardExecutor
+
+        if self._shard_executor is None:
+            self._shard_executor = ShardExecutor(self.config)
+        try:
+            return self._shard_executor.decide(view, buckets, due)
+        except Exception:
+            # A broken pool must never take the control plane down:
+            # abandon process mode for the rest of the run.
+            self._shard_executor.shutdown()
+            self._shard_executor = None
+            self.config.shard_mode = "inprocess"
+            return None
+
+    def shutdown(self) -> None:
+        """Release the process fan-out workers (no-op otherwise)."""
+        if self._shard_executor is not None:
+            self._shard_executor.shutdown()
+            self._shard_executor = None
+
     def last_decision(self) -> Optional[ControlDecision]:
         return self.decisions[-1] if self.decisions else None
 
@@ -158,3 +490,52 @@ class BDSController(OverlayStrategy):
         if not self.decisions:
             return 0.0
         return sum(d.total_runtime for d in self.decisions) / len(self.decisions)
+
+
+class _ShardOutcome:
+    """One shard's decide output, execution-mode independent.
+
+    The in-process loop and the process workers both reduce to this
+    shape, so the accumulation and replay bookkeeping in
+    :meth:`BDSController._decide_sharded` cannot diverge between modes.
+    """
+
+    __slots__ = (
+        "directives",
+        "scheduled_blocks",
+        "num_commodities",
+        "objective",
+        "schedule_runtime",
+        "routing_runtime",
+        "iterations",
+        "phases",
+        "warm_start",
+        "reuse_horizon",
+        "wall",
+    )
+
+    def __init__(
+        self,
+        directives: Sequence[TransferDirective],
+        scheduled_blocks: int,
+        num_commodities: int,
+        objective: float,
+        schedule_runtime: float,
+        routing_runtime: float,
+        iterations: int,
+        phases: int,
+        warm_start: str,
+        reuse_horizon: Optional[int],
+        wall: float,
+    ) -> None:
+        self.directives = list(directives)
+        self.scheduled_blocks = scheduled_blocks
+        self.num_commodities = num_commodities
+        self.objective = objective
+        self.schedule_runtime = schedule_runtime
+        self.routing_runtime = routing_runtime
+        self.iterations = iterations
+        self.phases = phases
+        self.warm_start = warm_start
+        self.reuse_horizon = reuse_horizon
+        self.wall = wall

@@ -90,8 +90,25 @@ class ControlDecision:
     #: means never reuse (e.g. approximate solver backends, partition
     #: fallback directives).
     reuse_horizon: Optional[int] = 0
+    # Sharded control plane telemetry (BDSConfig.shards > 1; zeros on
+    # the single-controller path). shard_count is the configured shard
+    # count; the walls are the max/mean per-shard schedule+route
+    # wall-clock this cycle over the shards that decided fresh (replayed
+    # shards cost ~nothing and are excluded); reconcile_runtime is the
+    # outer WAN-capacity waterfill over all shards' directives; and
+    # reconciled_directives counts directives whose rate cap the
+    # reconciliation pass actually lowered.
+    shard_count: int = 0
+    shard_wall_max: float = 0.0
+    shard_wall_mean: float = 0.0
+    reconcile_runtime: float = 0.0
+    reconciled_directives: int = 0
 
     @property
     def total_runtime(self) -> float:
-        """Controller algorithm running time (the Fig. 11a metric)."""
-        return self.schedule_runtime + self.routing_runtime
+        """Controller algorithm running time (the Fig. 11a metric).
+
+        Includes the sharded reconciliation pass (zero when unsharded):
+        it is on the decide critical path just like schedule and route.
+        """
+        return self.schedule_runtime + self.routing_runtime + self.reconcile_runtime

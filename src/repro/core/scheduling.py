@@ -160,19 +160,24 @@ class RarestFirstScheduler:
         use_relays = self.use_relays
 
         # Per-surviving-row columns, one array per group, concatenated
-        # once. ``slot`` indexes group_refs (and the per-slot job data);
-        # ``row`` is the candidate's original row in its group, the index
-        # into the group's ScheduledBlock cache.
-        slot_cols: List[np.ndarray] = []
+        # once. ``row`` is the candidate's original row in its group, the
+        # index into the group's ScheduledBlock cache. Fields that are
+        # constant within a group (slot, relay flag, priority, DC gid,
+        # job slot) are never materialized as columns: the sort key folds
+        # them in as scalars, and the capped winners recover their group
+        # slot by a searchsorted over the group offsets — at 10^7
+        # candidate rows those five constant columns and their
+        # concatenations were the largest memory-traffic term of a cold
+        # cycle.
         row_cols: List[np.ndarray] = []
         idx_cols: List[np.ndarray] = []
         dst_cols: List[np.ndarray] = []
         dup_cols: List[np.ndarray] = []
         gid_cols: List[np.ndarray] = []
-        relay_cols: List[np.ndarray] = []
-        prio_cols: List[np.ndarray] = []
-        dcgid_cols: List[np.ndarray] = []
-        jslot_cols: List[np.ndarray] = []
+        grp_relay: List[int] = []
+        grp_prio: List[int] = []
+        grp_dup_max: List[int] = []
+        grp_idx_max: List[int] = []
         group_refs: List[Tuple] = []  # (job, group, job_slot)
 
         for job_slot, job in enumerate(view.jobs):
@@ -187,22 +192,30 @@ class RarestFirstScheduler:
                 n = rows.size
                 if n == 0:
                     continue
-                gids = group.gids[rows]
+                # ``alive`` only ever shrinks, so a full-size row set is
+                # the identity permutation — use the group's arrays
+                # directly instead of gathering copies (the common case on
+                # a cold cycle; downstream only reads them).
+                full = n == group.gids.size
+                gids = group.gids if full else group.gids[rows]
                 if group.is_relay:
                     dead = dc_counts[group.dc_gid, gids] > 0
                 else:
-                    dead = matrix.test_many(group.dst_sids[rows], gids)
+                    dead = matrix.test_many(
+                        group.dst_sids if full else group.dst_sids[rows], gids
+                    )
                 ndead = int(np.count_nonzero(dead))
                 if ndead:
                     keep = ~dead
                     rows = rows[keep]
                     gids = gids[keep]
+                    full = False
                     if ndead * 2 > n:
                         group.alive = rows
                     if rows.size == 0:
                         continue
-                dst = group.dst_sids[rows]
-                idx = group.indices[rows]
+                dst = group.dst_sids if full else group.dst_sids[rows]
+                idx = group.indices if full else group.indices[rows]
                 dup = dup_all[gids]
                 if failed_lut is not None:
                     # Eligible sources = holders minus failed agents; the
@@ -222,21 +235,16 @@ class RarestFirstScheduler:
                     idx = idx[ok]
                     dup = dup[ok]
                     gids = gids[ok]
-                slot = len(group_refs)
                 group_refs.append((job, group, job_slot))
-                m = dst.size
-                slot_cols.append(np.full(m, slot, dtype=np.int64))
                 row_cols.append(rows)
                 idx_cols.append(idx)
                 dst_cols.append(dst)
                 dup_cols.append(dup)
                 gid_cols.append(gids)
-                relay_cols.append(
-                    np.full(m, 1 if group.is_relay else 0, dtype=np.int64)
-                )
-                prio_cols.append(np.full(m, neg_priority, dtype=np.int64))
-                dcgid_cols.append(np.full(m, group.dc_gid, dtype=np.int64))
-                jslot_cols.append(np.full(m, job_slot, dtype=np.int64))
+                grp_relay.append(1 if group.is_relay else 0)
+                grp_prio.append(neg_priority)
+                grp_dup_max.append(int(dup.max()))
+                grp_idx_max.append(int(idx.max()))
 
         if not group_refs:
             self.last_batch = SelectionBatch(
@@ -250,38 +258,65 @@ class RarestFirstScheduler:
             self.last_runtime = _time.perf_counter() - started
             return []
 
-        slot_col = np.concatenate(slot_cols)
         row_col = np.concatenate(row_cols)
         idx_col = np.concatenate(idx_cols)
         dst_col = np.concatenate(dst_cols)
         dup_col = np.concatenate(dup_cols)
         gid_col = np.concatenate(gid_cols)
-        relay_col = np.concatenate(relay_cols)
-        prio_col = np.concatenate(prio_cols)
-        dcgid_col = np.concatenate(dcgid_cols)
-        jslot_col = np.concatenate(jslot_cols)
+        sizes = np.fromiter(
+            (a.size for a in row_cols), dtype=np.int64, count=len(row_cols)
+        )
+        ends = np.cumsum(sizes)
 
         # One stable sort on a packed integer key ≡ the legacy ascending
         # tuple sort (relay, -priority, duplicates, block index) with
-        # insertion order breaking ties. Field widths are data-dependent;
-        # if the packed key cannot fit 62 bits, fall back to a (stable)
-        # lexsort over the separate columns.
-        pmin = int(prio_col.min())
-        prio_range = int(prio_col.max()) - pmin + 1
-        dup_range = int(dup_col.max()) + 1
-        idx_range = int(idx_col.max()) + 1
+        # insertion order breaking ties. The (relay, priority) fields are
+        # constant within a group, so each group's key is built in place
+        # as ``dup * idx_range + idx`` plus one scalar prefix. Field
+        # widths are data-dependent; if the packed key cannot fit 62
+        # bits, fall back to a (stable) lexsort over the separate
+        # columns.
+        pmin = min(grp_prio)
+        prio_range = max(grp_prio) - pmin + 1
+        dup_range = max(grp_dup_max) + 1
+        idx_range = max(grp_idx_max) + 1
         if 2 * prio_range * dup_range * idx_range < (1 << 62):
-            key = (
-                (relay_col * prio_range + (prio_col - pmin)) * dup_range
-                + dup_col
-            ) * idx_range + idx_col
-            order = np.argsort(key, kind="stable")
+            key_cols: List[np.ndarray] = []
+            for g in range(len(group_refs)):
+                prefix = (
+                    (grp_relay[g] * prio_range + (grp_prio[g] - pmin))
+                    * dup_range
+                    * idx_range
+                )
+                key = dup_cols[g] * idx_range
+                key += idx_cols[g]
+                if prefix:
+                    key += prefix
+                key_cols.append(key)
+            order = np.argsort(np.concatenate(key_cols), kind="stable")
         else:  # pragma: no cover - needs ~2^62 distinct key values
+            relay_col = np.repeat(
+                np.asarray(grp_relay, dtype=np.int64), sizes
+            )
+            prio_col = np.repeat(np.asarray(grp_prio, dtype=np.int64), sizes)
             order = np.lexsort((idx_col, dup_col, prio_col, relay_col))
         if self.max_blocks_per_cycle:
             order = order[: self.max_blocks_per_cycle]
 
-        sel_slot = slot_col[order].tolist()
+        # Winners recover their group slot from the offsets; the per-slot
+        # constants are then two tiny gathers instead of full columns.
+        slot_arr = np.searchsorted(ends, order, side="right")
+        dcgid_per_slot = np.fromiter(
+            (group.dc_gid for (_job, group, _js) in group_refs),
+            dtype=np.int64,
+            count=len(group_refs),
+        )
+        jslot_per_slot = np.fromiter(
+            (js for (_job, _group, js) in group_refs),
+            dtype=np.int64,
+            count=len(group_refs),
+        )
+        sel_slot = slot_arr.tolist()
         sel_row = row_col[order].tolist()
         sel_idx = idx_col[order].tolist()
         sel_dst = dst_col[order].tolist()
@@ -316,8 +351,8 @@ class RarestFirstScheduler:
             gids=gid_col[order].tolist(),
             indices=sel_idx,
             dst_sids=sel_dst,
-            dc_gids=dcgid_col[order].tolist(),
-            job_slots=jslot_col[order].tolist(),
+            dc_gids=dcgid_per_slot[slot_arr].tolist(),
+            job_slots=jslot_per_slot[slot_arr].tolist(),
         )
         self.last_runtime = _time.perf_counter() - started
         return selected

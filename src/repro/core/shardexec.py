@@ -1,0 +1,259 @@
+"""Process fan-out for the sharded controller (``shard_mode="process"``).
+
+One persistent single-worker :class:`~concurrent.futures.
+ProcessPoolExecutor` per shard gives each shard worker affinity: the
+worker keeps a mirror of its shard's state (jobs, a private
+:class:`~repro.overlay.store.PossessionIndex`, a warm
+:class:`~repro.net.cycle_cache.CycleCache`) across cycles, so per-decide
+payloads are *deltas* — only new jobs, the possession changes since the
+shard's last turn, and the small per-cycle scalars cross the process
+boundary. All payloads are pickle-pure (topologies, jobs, and directives
+are plain dataclasses of primitives; jobs carry no topology reference —
+their placement binding is a string dict).
+
+Determinism: the parent submits due shards in shard-index order and
+gathers results in the same order, so the combined directive list is
+identical to the in-process loop's regardless of worker scheduling. The
+worker runs the same scheduler/router construction as an in-process
+shard pipeline; its view is a plain :class:`ClusterView` over the mirror
+store (no candidate table), which takes the scalar cached paths — these
+are bit-identical to the vectorized kernel by the array-control-plane
+equivalence guarantees, so ``shard_mode`` never changes results.
+
+Seeding protocol: the simulator seeds every job's initial placement at
+construction time, *before* any deliveries, and ``PossessionIndex.seed``
+does not write the delivery log — so the first time a job ships to its
+worker, the parent snapshots that job's current holders outright, and
+every later possession change arrives through the delivery-log watermark
+replay. Replays re-apply via ``seed`` (idempotent: an already-set
+possession bit is a no-op), so overlap between a snapshot and the log
+can never double-count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.sharding import stable_shard
+
+BlockId = Tuple[str, int]
+
+
+@dataclass
+class ShardPayload:
+    """One due shard's decide input (a delta against the worker mirror)."""
+
+    cycle: int
+    time: float
+    cycle_seconds: float
+    budgets: Dict
+    failed_agents: Tuple[str, ...]
+    failed_links: FrozenSet
+    active_job_ids: Tuple[str, ...]
+    #: Jobs the worker has not seen yet, with a holders snapshot per block
+    #: (sorted server tuples — deterministic payload bytes).
+    new_jobs: List = field(default_factory=list)
+    new_holders: List[Tuple[BlockId, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    #: Possession deltas since this shard's previous payload:
+    #: ``(block_id, dst_server)`` in delivery-log order.
+    deliveries: List[Tuple[BlockId, str]] = field(default_factory=list)
+    #: In-flight partial bytes for this shard's blocks.
+    partials: Dict = field(default_factory=dict)
+    #: First payload only: the topology, store vectorization flag, and
+    #: controller config the worker builds its pipeline from.
+    topology: Optional[object] = None
+    vectorized: bool = True
+    config: Optional[object] = None
+
+
+@dataclass
+class ShardResult:
+    """One shard decide's output, shipped back to the parent."""
+
+    directives: List
+    scheduled_blocks: int
+    num_commodities: int
+    objective: float
+    schedule_runtime: float
+    routing_runtime: float
+    iterations: int
+    phases: int
+    warm_start: str
+    reuse_horizon: Optional[int]
+    wall: float
+
+
+# Worker-process mirror state. Each pool has exactly one worker and
+# serves exactly one shard, so a single module global suffices.
+_STATE: Optional[dict] = None
+
+
+def _worker_decide(payload: ShardPayload) -> ShardResult:
+    import time as _time
+
+    from repro.core.routing import BDSRouter
+    from repro.core.scheduling import RarestFirstScheduler
+    from repro.net.cycle_cache import CycleCache
+    from repro.net.simulator import ClusterView
+    from repro.overlay.store import PossessionIndex
+
+    global _STATE
+    if _STATE is None:
+        topology = payload.topology
+        config = payload.config
+        server_dc = {
+            server.server_id: server.dc
+            for server in topology.servers.values()
+        }
+        _STATE = {
+            "topology": topology,
+            "store": PossessionIndex(server_dc, vectorized=payload.vectorized),
+            "jobs_by_id": {},
+            "blocks_by_id": {},
+            "scheduler": RarestFirstScheduler(
+                max_blocks_per_cycle=config.max_blocks_per_cycle,
+                use_relays=config.use_relays,
+            ),
+            "router": BDSRouter(
+                backend=config.routing_backend,
+                epsilon=config.epsilon,
+                max_sources_per_group=config.max_sources_per_group,
+                merge_blocks=config.merge_blocks,
+            ),
+            "cache": CycleCache(),
+        }
+    st = _STATE
+    store = st["store"]
+    blocks_by_id = st["blocks_by_id"]
+    for job in payload.new_jobs:
+        st["jobs_by_id"][job.job_id] = job
+        for block in job.blocks:
+            blocks_by_id[block.block_id] = block
+    for block_id, servers in payload.new_holders:
+        block = blocks_by_id[block_id]
+        for server in servers:
+            store.seed(server, (block,))
+    for block_id, dst in payload.deliveries:
+        store.seed(dst, (blocks_by_id[block_id],))
+
+    view = ClusterView(
+        topology=st["topology"],
+        store=store,
+        jobs=[st["jobs_by_id"][jid] for jid in payload.active_job_ids],
+        cycle=payload.cycle,
+        time=payload.time,
+        cycle_seconds=payload.cycle_seconds,
+        bulk_capacities=payload.budgets,
+        failed_agents=set(payload.failed_agents),
+        controller_available=True,
+        partial_bytes=payload.partials,
+        failed_links=payload.failed_links,
+        cache=st["cache"],
+    )
+    scheduler = st["scheduler"]
+    router = st["router"]
+    started = _time.perf_counter()
+    selections = scheduler.select(view)
+    directives, diag = router.route(
+        view, selections, batch=getattr(scheduler, "last_batch", None)
+    )
+    wall = _time.perf_counter() - started
+    return ShardResult(
+        directives=directives,
+        scheduled_blocks=len(selections),
+        num_commodities=diag.num_commodities,
+        objective=diag.objective,
+        schedule_runtime=getattr(scheduler, "last_runtime", 0.0),
+        routing_runtime=diag.runtime,
+        iterations=diag.iterations,
+        phases=diag.phases,
+        warm_start=diag.warm_start,
+        reuse_horizon=diag.reuse_horizon,
+        wall=wall,
+    )
+
+
+class ShardExecutor:
+    """Parent-side manager of the per-shard worker pools."""
+
+    def __init__(self, config) -> None:
+        self.config = config
+        self._pools: List[Optional[ProcessPoolExecutor]] = [
+            None
+        ] * config.shards
+        self._known_jobs: List[set] = [set() for _ in range(config.shards)]
+        self._watermarks: List[int] = [0] * config.shards
+        self._job_shard: Dict[str, int] = {}
+
+    def _shard_of(self, job_id: str) -> int:
+        shard = self._job_shard.get(job_id)
+        if shard is None:
+            shard = stable_shard(job_id, self.config.shards, self.config.shard_seed)
+            self._job_shard[job_id] = shard
+        return shard
+
+    def _payload(self, view, shard: int, bucket: Sequence) -> ShardPayload:
+        known = self._known_jobs[shard]
+        new_jobs = [job for job in bucket if job.job_id not in known]
+        new_holders: List[Tuple[BlockId, Tuple[str, ...]]] = []
+        store = view.store
+        for job in new_jobs:
+            known.add(job.job_id)
+            for block in job.blocks:
+                holders = store.holders(block.block_id)
+                if holders:
+                    new_holders.append(
+                        (block.block_id, tuple(sorted(holders)))
+                    )
+        log = store.deliveries
+        watermark = self._watermarks[shard]
+        deliveries = [
+            (record.block_id, record.dst_server)
+            for record in log[watermark:]
+            if self._shard_of(record.block_id[0]) == shard
+        ]
+        self._watermarks[shard] = len(log)
+        partials = {
+            key: value
+            for key, value in getattr(view, "_partial", {}).items()
+            if self._shard_of(key[0][0]) == shard
+        }
+        first = self._pools[shard] is None
+        return ShardPayload(
+            cycle=view.cycle,
+            time=view.time,
+            cycle_seconds=view.cycle_seconds,
+            budgets=dict(view.bulk_capacities),
+            failed_agents=tuple(sorted(view.failed_agents)),
+            failed_links=view.failed_links,
+            active_job_ids=tuple(job.job_id for job in bucket),
+            new_jobs=new_jobs,
+            new_holders=new_holders,
+            deliveries=deliveries,
+            partials=partials,
+            topology=view.topology if first else None,
+            vectorized=getattr(store, "matrix", None) is not None,
+            config=self.config if first else None,
+        )
+
+    def decide(self, view, buckets, due: Sequence[int]) -> List[ShardResult]:
+        """Run the due shards' decides concurrently; results in due order."""
+        futures = []
+        for shard in due:
+            payload = self._payload(view, shard, buckets[shard])
+            pool = self._pools[shard]
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=1)
+                self._pools[shard] = pool
+            futures.append(pool.submit(_worker_decide, payload))
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        for pool in self._pools:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        self._pools = [None] * self.config.shards

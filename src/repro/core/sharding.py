@@ -1,0 +1,98 @@
+"""Deterministic job→shard partitioning for the sharded control plane.
+
+BDS's decision problem decomposes by job: blocks belong to exactly one
+job, so possession state, scheduling and routing partition cleanly once
+the job set is split — only WAN link budgets are shared across shards
+(reconciled per cycle, see :mod:`repro.core.controller`). This module
+owns the split itself.
+
+The assignment must be
+
+* **platform-stable** — the same ``(job_id, shards, seed)`` maps to the
+  same shard on every interpreter, OS, and run. Python's builtin
+  ``hash()`` is per-process salted (``PYTHONHASHSEED``) and therefore
+  banned here; we hash the UTF-8 job id through BLAKE2b instead;
+* **seeded** — ``seed`` keys the hash, so a pathological workload whose
+  ids collide into one shard can be re-spread without renaming jobs;
+* **independent of shard count history** — ``stable_shard`` is a pure
+  function of its arguments, so adding jobs never moves existing ones
+  (for a *shard-count* change, :func:`rebalance_moves` reports exactly
+  which jobs migrate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+JobLike = TypeVar("JobLike")
+
+_DIGEST_SIZE = 8  # 64 bits of hash is plenty for a shard index
+
+
+def _hash64(job_id: str, seed: int) -> int:
+    """Seeded 64-bit BLAKE2b digest of a job id (platform-stable)."""
+    key = int(seed).to_bytes(8, "little", signed=True)
+    digest = hashlib.blake2b(
+        job_id.encode("utf-8"), digest_size=_DIGEST_SIZE, key=key
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+def stable_shard(job_id: str, shards: int, seed: int = 0) -> int:
+    """Shard index of ``job_id`` under ``shards`` shards.
+
+    A pure function of its arguments: no process state, no iteration
+    order, no ``hash()`` salt. The unit tests pin golden values so a
+    platform or library change that silently moved jobs would fail loud.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards == 1:
+        return 0
+    return _hash64(job_id, seed) % shards
+
+
+def partition_jobs(
+    jobs: Sequence[JobLike], shards: int, seed: int = 0
+) -> List[List[JobLike]]:
+    """Split ``jobs`` into ``shards`` lists by :func:`stable_shard`.
+
+    Objects must expose ``job_id``. Relative order within each shard
+    preserves the input order — the scheduler's job-iteration order is
+    part of the deterministic contract, so a shard sees its jobs exactly
+    as the single controller would have.
+    """
+    buckets: List[List[JobLike]] = [[] for _ in range(shards)]
+    for job in jobs:
+        buckets[stable_shard(job.job_id, shards, seed)].append(job)
+    return buckets
+
+
+def partition_indices(
+    job_ids: Iterable[str], shards: int, seed: int = 0
+) -> Dict[str, int]:
+    """Mapping of each job id to its shard index."""
+    return {jid: stable_shard(jid, shards, seed) for jid in job_ids}
+
+
+def rebalance_moves(
+    job_ids: Iterable[str],
+    old_shards: int,
+    new_shards: int,
+    seed: int = 0,
+) -> Dict[str, Tuple[int, int]]:
+    """Jobs that change shards when resizing ``old_shards`` → ``new_shards``.
+
+    Returns ``{job_id: (old_shard, new_shard)}`` for exactly the jobs
+    that move. An operator resizing a sharded controller hands the moved
+    jobs' possession state to the new owner and leaves the rest alone;
+    the companion test asserts unmoved jobs keep their assignment.
+    """
+    moves: Dict[str, Tuple[int, int]] = {}
+    for jid in job_ids:
+        old = stable_shard(jid, old_shards, seed)
+        new = stable_shard(jid, new_shards, seed)
+        if old != new:
+            moves[jid] = (old, new)
+    return moves

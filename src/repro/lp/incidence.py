@@ -384,3 +384,32 @@ class FlowIncidence:
         return np.bincount(
             self.flat_res, weights=per_entry, minlength=self.num_resources
         )
+
+
+def outer_waterfill(inc: FlowIncidence, requested: np.ndarray) -> np.ndarray:
+    """One-pass proportional waterfill of ``requested`` over ``inc``.
+
+    The shared entry point of the data-plane clip kernel
+    (:func:`repro.net.flow.clip_rates_to_capacity_vectorized`) and the
+    sharded control plane's WAN-capacity reconciliation
+    (:meth:`repro.core.controller.BDSController`): every resource whose
+    aggregate request exceeds its capacity scales all its flows by the
+    same ``cap / used`` factor, and a flow crossing several
+    oversubscribed resources takes the most restrictive factor. One pass
+    suffices because scaling only ever decreases loads.
+
+    ``requested`` is a per-flow float64 array aligned with the incidence
+    rows; the clipped per-flow array comes back in the same order. The
+    arithmetic is exactly the scalar clip's: ``bincount`` accumulates
+    usage in entry order (identical partial sums), the guard
+    ``used > cap and used > 0`` matches elementwise, and the per-flow
+    factor is a segment minimum (order-independent) — so results are
+    bit-identical to the dict loop.
+    """
+    requested = np.asarray(requested, dtype=np.float64)
+    usage = inc.usage(requested)
+    scale = np.ones(inc.num_resources, dtype=np.float64)
+    over = (usage > inc.caps) & (usage > 0)
+    scale[over] = inc.caps[over] / usage[over]
+    factor = inc.flow_mins(scale, default=1.0)
+    return requested * factor

@@ -386,15 +386,19 @@ def clip_rates_to_capacity_vectorized(
 ) -> Dict[Hashable, float]:
     """Array one-pass clip over CSR flow×resource incidence.
 
-    Bit-identical to :func:`clip_rates_to_capacity_scalar`: per-resource
-    usage accumulates via ``bincount`` in the same entry order as the
-    scalar dict loop (identical partial sums), the scale factors apply
-    the same ``cap / used`` guard elementwise, and each flow's factor is
-    a segment minimum over its resources (order-independent). Unlike the
-    waterfill, *every* flow's resources are validated — the scalar clip
-    builds usage over all flows, zero-rate ones included.
+    Bit-identical to :func:`clip_rates_to_capacity_scalar`: the whole
+    arithmetic lives in :func:`repro.lp.incidence.outer_waterfill` (also
+    the sharded controller's WAN reconciliation pass — one
+    implementation, two consumers), which accumulates per-resource usage
+    via ``bincount`` in the same entry order as the scalar dict loop
+    (identical partial sums), applies the same ``cap / used`` guard
+    elementwise, and takes each flow's factor as a segment minimum over
+    its resources (order-independent). Unlike the waterfill, *every*
+    flow's resources are validated — the scalar clip builds usage over
+    all flows, zero-rate ones included.
     """
-    from repro.lp.incidence import FlowIncidence  # see the waterfill note
+    # Imported lazily: see the waterfill note on the repro.lp cycle.
+    from repro.lp.incidence import FlowIncidence, outer_waterfill
 
     if not flows:
         return {}
@@ -404,12 +408,7 @@ def clip_rates_to_capacity_vectorized(
         dtype=np.float64,
         count=len(flows),
     )
-    usage = inc.usage(r)
-    scale = np.ones(inc.num_resources, dtype=np.float64)
-    over = (usage > inc.caps) & (usage > 0)
-    scale[over] = inc.caps[over] / usage[over]
-    factor = inc.flow_mins(scale, default=1.0)
-    vals = r * factor
+    vals = outer_waterfill(inc, r)
     return {f.flow_id: float(vals[i]) for i, f in enumerate(flows)}
 
 

@@ -20,6 +20,7 @@ next cycle, exactly like BDS's per-cycle choice of ``w_b,s``.
 
 from __future__ import annotations
 
+import copy
 import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -220,6 +221,15 @@ class CycleStats:
     # key / was applied analytically inside a fast-forwarded stretch.
     decision_reused: bool = False
     fast_forwarded: bool = False
+    # Sharded control-plane telemetry, forwarded from the strategy's
+    # decision record (zeros on the single-controller path and for
+    # decentralized baselines): configured shard count, max/mean
+    # per-shard schedule+route wall over the shards that decided fresh
+    # this cycle, and the outer WAN-reconciliation wall.
+    shard_count: int = 0
+    time_shard_max: float = 0.0
+    time_shard_mean: float = 0.0
+    time_reconcile: float = 0.0
 
 
 @dataclass
@@ -276,6 +286,7 @@ class SimResult:
             "rate_resolve": 0.0,
             "deliver": 0.0,
             "deliver_apply": 0.0,
+            "reconcile": 0.0,
         }
         for s in self.cycle_stats:
             totals["view_build"] += s.time_view_build
@@ -285,6 +296,7 @@ class SimResult:
             totals["rate_resolve"] += s.time_rate_resolve
             totals["deliver"] += s.time_deliver
             totals["deliver_apply"] += s.time_deliver_apply
+            totals["reconcile"] += s.time_reconcile
         return totals
 
     def total_rate_stalemates(self) -> int:
@@ -454,6 +466,27 @@ class ClusterView:
             relay_order=self._relay_order,
             candidates=self._candidates,
         )
+        return clone
+
+    def with_jobs(
+        self, jobs: Sequence[MulticastJob], cache: Optional[CycleCache] = None
+    ) -> "ClusterView":
+        """A shallow clone of this view scoped to ``jobs``.
+
+        Used by the sharded control plane to hand each controller shard
+        its job partition: the clone shares every other structure with
+        this view (store, pending maps, budgets, candidate table — jobs
+        are disjoint in blocks, so a shard simply never looks at another
+        shard's rows), and ``cache`` substitutes the shard's own
+        :class:`CycleCache` so shards keep independent warm memos.
+        Implemented with :func:`copy.copy` so subclasses (notably
+        :class:`~repro.core.speculation.SpeculatedView`) keep their
+        exactness witnesses — in particular ``_map_store`` — untouched.
+        """
+        clone = copy.copy(self)
+        clone.jobs = list(jobs)
+        if cache is not None:
+            clone._cache = cache
         return clone
 
     def flow_resources(
@@ -1088,6 +1121,12 @@ class Simulation:
                     arrival_ptr,
                     len(job_completion),
                     -1 if bg is None else bg.state_token(cycle, dt),
+                    # Sharded control plane: decisions cached under one
+                    # shard layout must not replay under another. The
+                    # signature sits at the END — earlier entries are
+                    # indexed positionally (vkey[0..2]) by the
+                    # fast-forward gate below.
+                    getattr(self.strategy, "shard_signature", None),
                 )
 
             reused = vkey is not None and reuse.valid_for(cycle, vkey)
@@ -1334,6 +1373,10 @@ class Simulation:
                 routing_iterations = 0
                 routing_phases = 0
                 routing_warm_start = ""
+                shard_count = 0
+                time_shard_max = 0.0
+                time_shard_mean = 0.0
+                time_reconcile = 0.0
                 if not reused and last_decision_fn is not None:
                     decision = last_decision_fn()
                     if decision is not None and decision.cycle == cycle:
@@ -1345,6 +1388,16 @@ class Simulation:
                         routing_phases = getattr(decision, "routing_phases", 0)
                         routing_warm_start = getattr(
                             decision, "routing_warm_start", ""
+                        )
+                        shard_count = getattr(decision, "shard_count", 0)
+                        time_shard_max = getattr(
+                            decision, "shard_wall_max", 0.0
+                        )
+                        time_shard_mean = getattr(
+                            decision, "shard_wall_mean", 0.0
+                        )
+                        time_reconcile = getattr(
+                            decision, "reconcile_runtime", 0.0
                         )
                 stats = CycleStats(
                     cycle=cycle,
@@ -1365,6 +1418,10 @@ class Simulation:
                     routing_phases=routing_phases,
                     routing_warm_start=routing_warm_start,
                     decision_reused=reused,
+                    shard_count=shard_count,
+                    time_shard_max=time_shard_max,
+                    time_shard_mean=time_shard_mean,
+                    time_reconcile=time_reconcile,
                 )
                 if cfg.record_link_stats:
                     usage: Dict[ResourceKey, float] = {}

@@ -98,3 +98,60 @@ class TestBandwidthEnforcer:
     def test_negative_budget_rejected(self):
         with pytest.raises(ValueError):
             BandwidthEnforcer(budget=-1)
+
+
+class TestLinkBudgetsInterning:
+    """Array-backed budgets with per-topology-epoch key interning."""
+
+    @pytest.fixture
+    def topo(self):
+        return Topology.full_mesh(
+            num_dcs=3, servers_per_dc=2, wan_capacity=100 * MBps, uplink=10 * MBps
+        )
+
+    def test_mapping_protocol(self, topo):
+        budgets = NetworkMonitor(topo).bulk_budgets(0.0)
+        key = wan_key("dc0", "dc1")
+        assert key in budgets
+        assert len(budgets) == len(topo.links)
+        assert set(budgets) == set(topo.links)
+        assert budgets[key] == pytest.approx(80 * MBps)
+        assert isinstance(budgets[key], float)
+        assert dict(budgets)[key] == budgets[key]
+
+    def test_array_backs_values(self, topo):
+        budgets = NetworkMonitor(topo).bulk_budgets(0.0)
+        assert budgets.array.shape == (len(topo.links),)
+        for i, key in enumerate(budgets.keys_list):
+            assert budgets[key] == budgets.array[i]
+            assert budgets.index[key] == i
+
+    def test_keys_cached_across_cycles(self, topo):
+        monitor = NetworkMonitor(topo)
+        first = monitor.bulk_budgets(0.0)
+        second = monitor.bulk_budgets(3.0)
+        # Same interned key list object while the topology is unchanged.
+        assert first.keys_list is second.keys_list
+        assert first.index is second.index
+
+    def test_epoch_change_rebuilds_keys(self, topo):
+        monitor = NetworkMonitor(topo)
+        first = monitor.bulk_budgets(0.0)
+        topo.epoch += 1
+        second = monitor.bulk_budgets(0.0)
+        assert first.keys_list is not second.keys_list
+        assert list(first.keys_list) == list(second.keys_list)
+
+    def test_values_match_scalar_helper(self, topo):
+        # noise_fraction=0 so repeated queries at one time agree exactly
+        # (continuous-mode noise draws from a sequential RNG stream).
+        background = BackgroundTraffic(
+            base_fraction=0.3, diurnal_fraction=0.2, noise_fraction=0.0, seed=4
+        )
+        monitor = NetworkMonitor(topo, background=background)
+        budgets = monitor.bulk_budgets(123.0)
+        online = monitor.online_usage(123.0)
+        for key, link in topo.links.items():
+            assert budgets[key] == residual_budget(
+                link.capacity, online[key], threshold=monitor.threshold
+            )

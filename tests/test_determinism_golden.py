@@ -203,3 +203,89 @@ class TestParallelParity:
         assert [o.result.fingerprint() for o in serial] == [
             o.result.fingerprint() for o in parallel
         ]
+
+# ---------------------------------------------------------------------------
+# Sharded control plane parity: shards=1 is bit-identical to the default
+# controller; shards=k is deterministic on both engines
+# ---------------------------------------------------------------------------
+
+
+def _run_sharded(shards: int, event: bool, stride: int = 1) -> SimResult:
+    from repro.core.config import BDSConfig
+    from repro.core.controller import BDSController
+
+    topo = Topology.full_mesh(
+        num_dcs=5, servers_per_dc=4, wan_capacity=500 * MBps, uplink=25 * MBps
+    )
+    jobs = []
+    for j in range(4):
+        src = f"dc{j}"
+        job = MulticastJob(
+            job_id=f"golden{j}",
+            src_dc=src,
+            dst_dcs=tuple(f"dc{i}" for i in range(5) if f"dc{i}" != src),
+            total_bytes=48 * MB,
+            block_size=4 * MB,
+        )
+        job.bind(topo)
+        jobs.append(job)
+    sim = Simulation(
+        topology=topo,
+        jobs=jobs,
+        strategy=BDSController(
+            BDSConfig(shards=shards, shard_stride=stride)
+        ),
+        config=SimConfig(event_engine=event),
+        seed=SEED,
+    )
+    return sim.run()
+
+
+class TestShardedGoldenDeterminism:
+    @pytest.mark.parametrize("event", [False, True])
+    def test_single_shard_matches_default_controller(self, event):
+        sharded_off = _run_sharded(1, event=event)
+        # Same scenario through the default (config-less) controller:
+        from repro.core.controller import BDSController
+
+        topo = Topology.full_mesh(
+            num_dcs=5,
+            servers_per_dc=4,
+            wan_capacity=500 * MBps,
+            uplink=25 * MBps,
+        )
+        jobs = []
+        for j in range(4):
+            src = f"dc{j}"
+            job = MulticastJob(
+                job_id=f"golden{j}",
+                src_dc=src,
+                dst_dcs=tuple(f"dc{i}" for i in range(5) if f"dc{i}" != src),
+                total_bytes=48 * MB,
+                block_size=4 * MB,
+            )
+            job.bind(topo)
+            jobs.append(job)
+        baseline = Simulation(
+            topology=topo,
+            jobs=jobs,
+            strategy=BDSController(),
+            config=SimConfig(event_engine=event),
+            seed=SEED,
+        ).run()
+        assert sharded_off.all_complete
+        assert _fingerprint(sharded_off) == _fingerprint(baseline)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("event", [False, True])
+    def test_sharded_repeat_identical(self, shards, event):
+        first = _run_sharded(shards, event=event)
+        second = _run_sharded(shards, event=event)
+        assert first.all_complete
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_sharded_stride_engines_agree(self):
+        tick = _run_sharded(4, event=False, stride=2)
+        ev = _run_sharded(4, event=True, stride=2)
+        assert tick.all_complete
+        assert _fingerprint(tick) == _fingerprint(ev)

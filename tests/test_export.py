@@ -95,3 +95,75 @@ class TestCliExport:
         assert code == 0
         loaded = load_result_dict(out)
         assert loaded["all_complete"] is True
+
+
+class TestShardingTelemetryRoundTrip:
+    """Format v7: per-cycle sharding telemetry survives the round-trip."""
+
+    def _sharded_result(self):
+        from repro.core import BDSConfig
+
+        topo = Topology.full_mesh(
+            num_dcs=3, servers_per_dc=2, wan_capacity=1 * GB, uplink=10 * MBps
+        )
+        jobs = []
+        for j in range(3):
+            src = f"dc{j}"
+            job = MulticastJob(
+                job_id=f"j{j}",
+                src_dc=src,
+                dst_dcs=tuple(f"dc{i}" for i in range(3) if f"dc{i}" != src),
+                total_bytes=20 * MB,
+                block_size=4 * MB,
+            )
+            job.bind(topo)
+            jobs.append(job)
+        return Simulation(
+            topo,
+            jobs,
+            BDSController(BDSConfig(shards=2), seed=0),
+            SimConfig(),
+            seed=0,
+        ).run()
+
+    def test_sharding_subdict_exported(self):
+        payload = result_to_dict(self._sharded_result())
+        assert payload["format_version"] == EXPORT_FORMAT_VERSION
+        sharded = [
+            c for c in payload["cycles"] if c["sharding"]["shard_count"]
+        ]
+        assert sharded, "sharded run must export shard telemetry"
+        for entry in sharded:
+            s = entry["sharding"]
+            assert s["shard_count"] == 2
+            assert s["shard_max"] >= s["shard_mean"] >= 0.0
+            assert s["reconcile"] >= 0.0
+
+    def test_round_trip_preserves_shard_fields(self, tmp_path):
+        from repro.analysis.export import load_result
+
+        result = self._sharded_result()
+        path = tmp_path / "sharded.json"
+        save_result(result, path)
+        restored = load_result(path)
+        for live, back in zip(result.cycle_stats, restored.cycle_stats):
+            assert back.shard_count == live.shard_count
+            assert back.time_shard_max == live.time_shard_max
+            assert back.time_shard_mean == live.time_shard_mean
+            assert back.time_reconcile == live.time_reconcile
+
+    def test_v6_payload_still_readable(self, result, tmp_path):
+        from repro.analysis.export import load_result
+
+        path = tmp_path / "old.json"
+        save_result(result, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["format_version"] = 6
+        for entry in payload.get("cycles", []):
+            entry.pop("sharding", None)
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        restored = load_result(path)
+        assert all(s.shard_count == 0 for s in restored.cycle_stats)
+        assert restored.job_completion == result.job_completion

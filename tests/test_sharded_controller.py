@@ -1,0 +1,227 @@
+"""Sharded control plane: identity, determinism, and reconciliation.
+
+Contracts under test (ISSUE: sharded multi-controller control plane):
+
+* ``shards=1`` takes the original single-controller code path and is
+  bit-identical to a controller built before the knob existed — the
+  golden-fingerprint tests assert equality against a default-config run
+  on both the tick and event engines.
+* ``shards=k`` is deterministic: repeated runs produce identical
+  fingerprints, on both engines, in both execution modes.
+* ``shard_mode="process"`` produces results bit-identical to
+  ``"inprocess"`` (worker mirrors replay the possession log).
+* The reconciliation pass bounds each WAN link's summed directive rate
+  caps by its bulk budget.
+* Sharded completion times stay within a small tolerance of the single
+  controller (the documented quality envelope).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BDSConfig
+from repro.core.controller import BDSController
+from repro.net.simulator import SimConfig, SimResult, Simulation
+from repro.net.topology import Topology
+from repro.overlay.job import MulticastJob
+from repro.utils.units import MB, MBps
+
+SEED = 90
+
+#: Documented quality envelope: sharded completion within 2 cycles and
+#: within 2x of single-controller (tiny scenarios quantize to whole
+#: cycles, so a relative bound alone would be vacuous or flaky).
+QUALITY_SLACK_CYCLES = 2
+
+
+def _scenario(num_jobs: int = 6):
+    topo = Topology.full_mesh(
+        num_dcs=5, servers_per_dc=4, wan_capacity=500 * MBps, uplink=25 * MBps
+    )
+    jobs = []
+    for j in range(num_jobs):
+        src = f"dc{j % 5}"
+        job = MulticastJob(
+            job_id=f"job{j}",
+            src_dc=src,
+            dst_dcs=tuple(f"dc{i}" for i in range(5) if f"dc{i}" != src),
+            total_bytes=48 * MB,
+            block_size=4 * MB,
+        )
+        job.bind(topo)
+        jobs.append(job)
+    return topo, jobs
+
+
+def _run(
+    shards: int,
+    stride: int = 1,
+    mode: str = "inprocess",
+    event: bool = True,
+    num_jobs: int = 6,
+    config: BDSConfig = None,
+) -> SimResult:
+    topo, jobs = _scenario(num_jobs)
+    cfg = config or BDSConfig(
+        shards=shards, shard_stride=stride, shard_mode=mode
+    )
+    controller = BDSController(cfg)
+    sim = Simulation(
+        topology=topo,
+        jobs=jobs,
+        strategy=controller,
+        config=SimConfig(event_engine=event),
+        seed=SEED,
+    )
+    try:
+        return sim.run()
+    finally:
+        controller.shutdown()
+
+
+def _fingerprint(result: SimResult):
+    return (
+        result.job_completion,
+        result.dc_completion,
+        result.server_completion,
+        result.blocks_per_cycle(),
+        [s.bytes_transferred for s in result.cycle_stats],
+    )
+
+
+class TestSingleShardIdentity:
+    """shards=1 must be bit-identical to the pre-knob controller."""
+
+    @pytest.mark.parametrize("event", [False, True])
+    def test_default_config_unchanged(self, event):
+        baseline = _run(1, event=event, config=BDSConfig())
+        sharded_off = _run(1, event=event)
+        assert baseline.all_complete
+        assert _fingerprint(baseline) == _fingerprint(sharded_off)
+
+    def test_no_shard_telemetry_on_single_path(self):
+        result = _run(1)
+        assert all(s.shard_count == 0 for s in result.cycle_stats)
+        assert all(s.time_reconcile == 0.0 for s in result.cycle_stats)
+
+    def test_signature_none_when_unsharded(self):
+        assert BDSController(BDSConfig()).shard_signature is None
+        assert BDSController(
+            BDSConfig(shards=3, shard_seed=5, shard_stride=2)
+        ).shard_signature == (3, 5, 2)
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("event", [False, True])
+    def test_repeated_runs_identical(self, shards, event):
+        first = _run(shards, event=event)
+        second = _run(shards, event=event)
+        assert first.all_complete
+        assert _fingerprint(first) == _fingerprint(second)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_event_matches_tick(self, shards):
+        assert _fingerprint(_run(shards, event=True)) == _fingerprint(
+            _run(shards, event=False)
+        )
+
+    @pytest.mark.parametrize("stride", [2, 3])
+    def test_stride_deterministic_both_engines(self, stride):
+        tick = _run(3, stride=stride, event=False)
+        ev = _run(3, stride=stride, event=True)
+        assert tick.all_complete
+        assert _fingerprint(tick) == _fingerprint(ev)
+
+    def test_shard_telemetry_recorded(self):
+        result = _run(3)
+        fresh = [s for s in result.cycle_stats if s.shard_count]
+        assert fresh, "sharded cycles must record shard telemetry"
+        for s in fresh:
+            assert s.shard_count == 3
+            assert s.time_shard_max >= s.time_shard_mean >= 0.0
+        assert result.stage_time_totals()["reconcile"] >= 0.0
+
+
+class TestProcessMode:
+    def test_process_matches_inprocess(self):
+        assert _fingerprint(_run(2, mode="process")) == _fingerprint(
+            _run(2, mode="inprocess")
+        )
+
+    def test_process_matches_inprocess_with_stride(self):
+        assert _fingerprint(
+            _run(3, stride=2, mode="process")
+        ) == _fingerprint(_run(3, stride=2, mode="inprocess"))
+
+
+class TestReconciliation:
+    def test_wan_sums_within_budget(self):
+        """Controller output (pre-simulator) respects every WAN budget."""
+        topo, jobs = _scenario(8)
+        cfg = BDSConfig(shards=4)
+        controller = BDSController(cfg)
+        sim = Simulation(
+            topology=topo,
+            jobs=jobs,
+            strategy=controller,
+            config=SimConfig(event_engine=False),
+            seed=SEED,
+        )
+        sim.run()
+        budgets = {
+            key: cfg.safety_threshold * link.capacity
+            for key, link in topo.links.items()
+        }
+        checked = 0
+        for decision in controller.decisions:
+            usage = {}
+            for d in decision.directives:
+                if d.rate_cap is None:
+                    continue
+                res = topo.flow_resources(d.src_server, d.dst_server)
+                for key in res:
+                    if key in budgets:
+                        usage[key] = usage.get(key, 0.0) + d.rate_cap
+            for key, used in usage.items():
+                checked += 1
+                assert used <= budgets[key] * (1 + 1e-9)
+        assert checked > 0
+
+    def test_reconciled_counter_sane(self):
+        topo, jobs = _scenario(8)
+        controller = BDSController(BDSConfig(shards=4))
+        Simulation(
+            topology=topo,
+            jobs=jobs,
+            strategy=controller,
+            config=SimConfig(event_engine=False),
+            seed=SEED,
+        ).run()
+        for decision in controller.decisions:
+            assert decision.reconciled_directives <= len(decision.directives)
+            assert decision.reconcile_runtime >= 0.0
+
+
+class TestShardedQuality:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_completion_within_tolerance(self, shards):
+        base = _run(1)
+        sharded = _run(shards)
+        assert sharded.all_complete
+        dt = 3.0
+        for job_id, t_base in base.job_completion.items():
+            t_shard = sharded.job_completion[job_id]
+            assert t_shard <= t_base + QUALITY_SLACK_CYCLES * dt
+
+    def test_stride_completion_within_tolerance(self):
+        base = _run(1)
+        strided = _run(4, stride=4)
+        assert strided.all_complete
+        dt = 3.0
+        for job_id, t_base in base.job_completion.items():
+            assert (
+                strided.job_completion[job_id]
+                <= t_base + (QUALITY_SLACK_CYCLES + 4) * dt
+            )

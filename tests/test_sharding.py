@@ -1,0 +1,115 @@
+"""Unit tests for the deterministic job→shard partitioner.
+
+The assignment must be platform-stable: the same job id, shard count,
+and seed map to the same shard on every run, interpreter, and machine
+(no reliance on Python's per-process ``hash()`` randomization). The
+golden values below pin that contract — they may only change with an
+explicit format break.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sharding import (
+    _hash64,
+    partition_indices,
+    partition_jobs,
+    rebalance_moves,
+    stable_shard,
+)
+
+
+class _FakeJob:
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+
+
+class TestStableShard:
+    def test_golden_values(self):
+        # Pinned platform-stable assignments (blake2b keyed by the seed).
+        assert _hash64("job0", 0) == 9770455428314747166
+        assert _hash64("job1", 0) == 12121382172694623555
+        assert stable_shard("job0", 4) == 2
+        assert stable_shard("job1", 4) == 3
+        assert stable_shard("alpha", 4) == 3
+        assert stable_shard("alpha", 4, seed=7) == 1
+        # Non-ASCII ids hash their UTF-8 bytes.
+        assert stable_shard("β-job", 4) == 1
+
+    def test_stable_across_calls(self):
+        ids = [f"job{i}" for i in range(200)]
+        first = [stable_shard(j, 8, seed=3) for j in ids]
+        second = [stable_shard(j, 8, seed=3) for j in ids]
+        assert first == second
+
+    def test_single_shard_short_circuit(self):
+        assert stable_shard("anything", 1) == 0
+        assert stable_shard("anything", 1, seed=99) == 0
+
+    def test_range(self):
+        for i in range(100):
+            assert 0 <= stable_shard(f"j{i}", 5) < 5
+
+    def test_seed_respreads(self):
+        ids = [f"job{i}" for i in range(100)]
+        base = [stable_shard(j, 4, seed=0) for j in ids]
+        reseeded = [stable_shard(j, 4, seed=1) for j in ids]
+        assert base != reseeded
+
+    def test_roughly_balanced(self):
+        ids = [f"job{i}" for i in range(1000)]
+        counts = [0] * 4
+        for j in ids:
+            counts[stable_shard(j, 4)] += 1
+        # A keyed cryptographic hash spreads uniformly; allow wide slack.
+        assert min(counts) > 150
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            stable_shard("x", 0)
+        with pytest.raises(ValueError):
+            stable_shard("x", -2)
+
+
+class TestPartition:
+    def test_partition_jobs_preserves_order(self):
+        jobs = [_FakeJob(f"job{i}") for i in range(50)]
+        buckets = partition_jobs(jobs, 4)
+        assert len(buckets) == 4
+        seen = [job for bucket in buckets for job in bucket]
+        assert sorted(j.job_id for j in seen) == sorted(j.job_id for j in jobs)
+        for s, bucket in enumerate(buckets):
+            ids = [j.job_id for j in bucket]
+            # Within a bucket, original arrival order is preserved.
+            positions = [int(i[3:]) for i in ids]
+            assert positions == sorted(positions)
+            for jid in ids:
+                assert stable_shard(jid, 4) == s
+
+    def test_partition_indices_matches_jobs(self):
+        ids = [f"job{i}" for i in range(30)]
+        jobs = [_FakeJob(j) for j in ids]
+        mapping = partition_indices(ids, 3)
+        buckets = partition_jobs(jobs, 3)
+        for s in range(3):
+            assert [j.job_id for j in buckets[s]] == [
+                jid for jid in ids if mapping[jid] == s
+            ]
+
+
+class TestRebalance:
+    def test_moves_only_reassigned_jobs(self):
+        ids = [f"job{i}" for i in range(100)]
+        moves = rebalance_moves(ids, old_shards=2, new_shards=4)
+        for jid, (old, new) in moves.items():
+            assert old == stable_shard(jid, 2)
+            assert new == stable_shard(jid, 4)
+            assert old != new
+        unmoved = set(ids) - set(moves)
+        for jid in unmoved:
+            assert stable_shard(jid, 2) == stable_shard(jid, 4)
+
+    def test_same_shards_no_moves(self):
+        ids = [f"job{i}" for i in range(20)]
+        assert rebalance_moves(ids, 3, 3) == {}
