@@ -45,6 +45,24 @@ isolates sharding: what remains is the O(pending pairs) rarity scan +
 candidate build. Quality arms run uncapped (a per-shard cap is not
 semantically comparable to a global cap).
 
+Shard-local state (this PR) adds three more measurements:
+
+* **per-shard memory** — every timed arm records the peak per-shard
+  possession-matrix and candidate-table bytes (from the cycle stats'
+  shard-local telemetry) next to the full store's bytes; the floor
+  asserts peak possession+candidate state at 10^6 pairs scales ≈ 1/k
+  (within 1.5x, the partition-imbalance allowance) for shards ∈
+  {2, 4, 8}.
+* **partition compare** — hash vs affinity on a *pod* workload (4
+  disjoint source→{2 dst} groups; an all-to-all workload contends on
+  every link regardless of partition, so it cannot distinguish the
+  policies): affinity co-locates each pod on one shard, so the outer
+  reconciliation sees no cross-shard link sharing and its clip count
+  and wall must come in at or below hash's.
+* **adaptive stride** — a 10^7 capped arm with ``shard_stride="auto"``:
+  the controller must widen the stride off the measured per-shard walls
+  (engaged stride > 1) and keep every cycle under the 3 s ΔT.
+
 Every arm runs in a fresh interpreter (``--arm``, spawned by the
 parent): allocator and GC state left by earlier arms measurably
 inflates later cold timings when arms share a process (>2x at the 10^7
@@ -58,10 +76,15 @@ Run as a script to emit ``BENCH_shards.json``::
 
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py [--quick]
 
-or through pytest like the other benchmarks (quick scale).
+through pytest like the other benchmarks (quick scale), or as the CI
+shard smoke (exit status asserts the memory ratio and the partition
+clip comparison at quick scale)::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --shard-smoke
 """
 
 import argparse
+import gc
 import json
 import os
 import subprocess
@@ -77,7 +100,7 @@ from repro.net.topology import Topology
 from repro.overlay.job import MulticastJob
 from repro.utils.units import MB, MBps
 
-RESULT_FORMAT_VERSION = 1
+RESULT_FORMAT_VERSION = 2
 
 #: Stated sharded-quality tolerance: mean relative completion-time delta
 #: vs the single controller at the quality scale (measured range is
@@ -85,6 +108,10 @@ RESULT_FORMAT_VERSION = 1
 QUALITY_TOLERANCE = 0.03
 RECONCILE_OVERHEAD_CEILING = 0.10
 DT_SECONDS = 3.0
+#: Per-shard peak possession+candidate bytes must be <= this multiple of
+#: the fair 1/k share of the single-controller state (partition
+#: imbalance allowance).
+MEMORY_SCALING_SLACK = 1.5
 #: Process-mode floor, asserted only on hosts with >= this many CPUs.
 PROCESS_MODE_MIN_CPUS = 4
 PROCESS_SPEEDUP_FLOOR = 1.2
@@ -137,20 +164,23 @@ def timed_cycles(
     num_jobs: int,
     blocks: int,
     shards: int,
-    stride: int,
+    stride,
     cycles: int,
     cap: int = 0,
+    partition: str = "hash",
 ) -> dict:
     """Run ``cycles`` fixed tick cycles; report controller-wall stats.
 
     ``cap`` is ``max_blocks_per_cycle`` (0 = uncapped, the production
-    default; the 10^7 arms cap — see the module docstring).
+    default; the 10^7 arms cap — see the module docstring). ``stride``
+    accepts the literal ``"auto"`` for the adaptive-stride arm.
     """
     topo, jobs = build_scenario(num_jobs, blocks)
     controller = BDSController(
         BDSConfig(
             shards=shards,
             shard_stride=stride,
+            shard_partition=partition,
             max_blocks_per_cycle=cap,
         )
     )
@@ -165,14 +195,25 @@ def timed_cycles(
         ),
         seed=0,
     )
+    # The scenario heap (10^6+ Block dataclasses plus binding dicts) is
+    # immortal for this process; freeze it out of the collector so full
+    # generation scans don't alias multi-second pauses into whichever
+    # cycle they happen to land on.
+    gc.collect()
+    gc.freeze()
     started = _time.perf_counter()
     result = sim.run()
     wall = _time.perf_counter() - started
     walls = [s.time_decide for s in result.cycle_stats]
     reconcile = [s.time_reconcile for s in result.cycle_stats]
+    # Single-controller candidate-table bytes (the shards=1 baseline the
+    # per-shard memory floor divides by); sharded runs skip the global
+    # build, so this is 0 there and the mirror telemetry carries instead.
+    table = getattr(sim, "_cand_table", None)
     return {
         "shards": shards,
         "stride": stride,
+        "partition": partition,
         "cycles": len(result.cycle_stats),
         "max_cycle_wall_s": max(walls, default=0.0),
         "mean_cycle_wall_s": sum(walls) / len(walls) if walls else 0.0,
@@ -185,7 +226,98 @@ def timed_cycles(
         "shard_wall_max_s": max(
             (s.time_shard_max for s in result.cycle_stats), default=0.0
         ),
+        "total_reconciled_directives": sum(
+            d.reconciled_directives for d in controller.decisions
+        ),
+        "max_effective_stride": max(
+            (s.shard_stride for s in result.cycle_stats), default=0
+        ),
+        "store_state_bytes": result.store.state_bytes(),
+        "base_candidate_bytes": (
+            table.state_bytes() if table is not None else 0
+        ),
+        "peak_shard_state_bytes": max(
+            (s.shard_state_bytes for s in result.cycle_stats), default=0
+        ),
+        "peak_shard_candidate_bytes": max(
+            (s.shard_candidate_bytes for s in result.cycle_stats), default=0
+        ),
+        "total_payload_bytes": sum(
+            s.shard_payload_bytes for s in result.cycle_stats
+        ),
     }
+
+
+#: Pod workload shape for the partition-compare arm: disjoint
+#: source→destination groups, so co-locating a pod on one shard removes
+#: that pod's links from cross-shard contention entirely.
+PODS = 4
+
+
+def build_pod_scenario(jobs_per_pod: int, blocks: int):
+    """``PODS`` disjoint multicast groups over a 3-DC-per-pod mesh.
+
+    Pod p's jobs all flow ``dc(3p) -> {dc(3p+1), dc(3p+2)}``; no link is
+    shared between pods. Jobs arrive round-robin across pods so the
+    affinity assigner's home shards land on distinct shards.
+    """
+    topo = Topology.full_mesh(
+        num_dcs=3 * PODS,
+        servers_per_dc=SERVERS_PER_DC,
+        wan_capacity=500 * MBps,
+        uplink=25 * MBps,
+    )
+    jobs = []
+    for i in range(PODS * jobs_per_pod):
+        pod = i % PODS
+        job = MulticastJob(
+            job_id=f"pod-bench-{i}",
+            src_dc=f"dc{3 * pod}",
+            dst_dcs=(f"dc{3 * pod + 1}", f"dc{3 * pod + 2}"),
+            total_bytes=blocks * 2 * MB,
+            block_size=2 * MB,
+        )
+        job.bind(topo)
+        jobs.append(job)
+    return topo, jobs
+
+
+def partition_compare_arm(
+    jobs_per_pod: int, blocks: int, shards: int, cycles: int
+) -> dict:
+    """Hash vs affinity reconciliation cost on the pod workload."""
+    out = {"pods": PODS, "jobs_per_pod": jobs_per_pod, "shards": shards}
+    for partition in ("hash", "affinity"):
+        topo, jobs = build_pod_scenario(jobs_per_pod, blocks)
+        controller = BDSController(
+            BDSConfig(shards=shards, shard_partition=partition)
+        )
+        result = Simulation(
+            topology=topo,
+            jobs=jobs,
+            strategy=controller,
+            config=SimConfig(
+                event_engine=False,
+                max_cycles=cycles,
+                stop_when_complete=False,
+            ),
+            seed=0,
+        ).run()
+        out[partition] = {
+            "total_reconcile_s": sum(
+                s.time_reconcile for s in result.cycle_stats
+            ),
+            "total_reconciled_directives": sum(
+                d.reconciled_directives for d in controller.decisions
+            ),
+            "total_directives": sum(
+                len(d.directives) for d in controller.decisions
+            ),
+            "peak_shard_state_bytes": max(
+                (s.shard_state_bytes for s in result.cycle_stats), default=0
+            ),
+        }
+    return out
 
 
 def quality_arm(num_jobs: int, blocks: int, shards: int) -> dict:
@@ -266,6 +398,7 @@ ARM_KINDS = {
     "timed": timed_cycles,
     "quality": quality_arm,
     "process_mode": process_mode_arm,
+    "partition_compare": partition_compare_arm,
 }
 
 
@@ -289,6 +422,15 @@ def run_arm(kind: str, repeats: int = 1, **kwargs) -> dict:
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (src_dir, env.get("PYTHONPATH")) if p
     )
+    # Keep glibc from mmap-ing (and returning to the OS on free) the
+    # multi-MB numpy temporaries the kernel allocates every cycle: each
+    # munmap/mmap round trip re-faults tens of MB of pages per decide,
+    # which on a virtualized host costs more than the arithmetic being
+    # measured. Raising both thresholds keeps the arena warm so only the
+    # first cycle pays the faults — matching how a long-lived controller
+    # process behaves.
+    env.setdefault("MALLOC_MMAP_THRESHOLD_", str(256 * 1024 * 1024))
+    env.setdefault("MALLOC_TRIM_THRESHOLD_", str(256 * 1024 * 1024))
     best = None
     repeat_maxes = []
     for _ in range(max(1, repeats)):
@@ -360,6 +502,18 @@ def run_bench(quick: bool, with_process_mode: bool = False) -> dict:
                         cap=TIMED_ARM_CAP,
                     )
                 )
+            # Adaptive stride at the ΔT-critical scale: starts fully
+            # staggered and narrows only as measured walls show slack.
+            entry["auto_stride"] = run_arm(
+                "timed",
+                repeats=2,
+                num_jobs=num_jobs,
+                blocks=blocks,
+                shards=8,
+                stride="auto",
+                cycles=10,
+                cap=TIMED_ARM_CAP,
+            )
         else:
             shard_counts = (1, 2, 4) if quick else (1, 2, 4, 8)
             entry["curve"] = [
@@ -392,6 +546,19 @@ def run_bench(quick: bool, with_process_mode: bool = False) -> dict:
         }
     payload["quality"] = quality
 
+    # Partition policy compare on the pod workload (see module docstring).
+    if quick:
+        jobs_per_pod, pod_blocks = 2, 312
+    else:
+        jobs_per_pod, pod_blocks = 4, 3_125
+    payload["partition_compare"] = run_arm(
+        "partition_compare",
+        jobs_per_pod=jobs_per_pod,
+        blocks=pod_blocks,
+        shards=PODS,
+        cycles=6,
+    )
+
     if with_process_mode:
         num_jobs, blocks = scales["2e4" if quick else "1e6"]
         payload["process_mode"] = run_arm(
@@ -419,6 +586,33 @@ def format_report(payload: dict) -> str:
                 f"mean {arm['mean_cycle_wall_s']:.3f}s  "
                 f"reconcile {arm['total_reconcile_s']*1e3:.2f}ms "
                 f"({arm['reconcile_fraction']:.2%} of decide)"
+            )
+            if arm["shards"] > 1:
+                lines.append(
+                    f"      peak shard state "
+                    f"{arm['peak_shard_state_bytes']/1e6:.2f}MB poss + "
+                    f"{arm['peak_shard_candidate_bytes']/1e6:.2f}MB cand "
+                    f"(store {arm['store_state_bytes']/1e6:.2f}MB)"
+                )
+        if "auto_stride" in entry:
+            arm = entry["auto_stride"]
+            lines.append(
+                f"  auto stride (shards={arm['shards']}): max cycle wall "
+                f"{arm['max_cycle_wall_s']:.3f}s, effective stride up to "
+                f"{arm['max_effective_stride']}"
+            )
+    if "partition_compare" in payload:
+        pc = payload["partition_compare"]
+        lines.append(
+            f"partition compare (pods={pc['pods']}, shards={pc['shards']}):"
+        )
+        for policy in ("hash", "affinity"):
+            arm = pc[policy]
+            lines.append(
+                f"  {policy:<9} clips "
+                f"{arm['total_reconciled_directives']:<6} "
+                f"reconcile {arm['total_reconcile_s']*1e3:.2f}ms  "
+                f"peak shard state {arm['peak_shard_state_bytes']/1e6:.2f}MB"
             )
     q = payload["quality"]
     lines.append(
@@ -464,11 +658,53 @@ def check_floors(payload: dict) -> list:
                 f"10^6/{arm['shards']} shards exceeds "
                 f"{RECONCILE_OVERHEAD_CEILING:.0%}"
             )
+    # Per-shard memory floor: possession+candidate state ~ 1/k of the
+    # single-controller state, within the imbalance allowance.
+    base = curve_1e6[0]
+    base_state = base["store_state_bytes"] + base["base_candidate_bytes"]
+    for arm in curve_1e6:
+        k = arm["shards"]
+        if k <= 1:
+            continue
+        peak = (
+            arm["peak_shard_state_bytes"] + arm["peak_shard_candidate_bytes"]
+        )
+        ceiling = MEMORY_SCALING_SLACK * base_state / k
+        if not 0 < peak <= ceiling:
+            failures.append(
+                f"10^6 shards={k}: peak shard state {peak} bytes outside "
+                f"(0, {ceiling:.0f}] = {MEMORY_SCALING_SLACK}x of the "
+                f"1/{k} share of {base_state} bytes"
+            )
     for arm in payload["scales"]["1e7"]["curve"]:
         if arm["shards"] > 1 and arm["max_cycle_wall_s"] >= DT_SECONDS:
             failures.append(
                 f"10^7 pairs with shards={arm['shards']}: max cycle wall "
                 f"{arm['max_cycle_wall_s']:.2f}s not under {DT_SECONDS}s dt"
+            )
+    auto = payload["scales"]["1e7"].get("auto_stride")
+    if auto is not None:
+        if auto["max_cycle_wall_s"] >= DT_SECONDS:
+            failures.append(
+                f"auto stride at 10^7: max cycle wall "
+                f"{auto['max_cycle_wall_s']:.2f}s not under {DT_SECONDS}s dt"
+            )
+        if auto["max_effective_stride"] <= 1:
+            failures.append(
+                "auto stride at 10^7 never widened past 1 "
+                "(adaptive control not engaged)"
+            )
+    pc = payload.get("partition_compare")
+    if pc is not None:
+        if (
+            pc["affinity"]["total_reconciled_directives"]
+            > pc["hash"]["total_reconciled_directives"]
+        ):
+            failures.append(
+                f"affinity clips "
+                f"{pc['affinity']['total_reconciled_directives']} exceed "
+                f"hash clips {pc['hash']['total_reconciled_directives']} "
+                "on the pod workload"
             )
     for key, arm in payload["quality"].items():
         if key.startswith("shards_"):
@@ -491,6 +727,46 @@ def check_floors(payload: dict) -> list:
     return failures
 
 
+def shard_smoke() -> list:
+    """CI smoke assertions at quick scale; returns failure messages.
+
+    (a) shard-local memory: with 4 shards each mirror's possession bytes
+        stay at or under half the single-controller store;
+    (b) partition policy: affinity's reconciliation clip count on the
+        pod workload is no worse than hash's.
+    """
+    failures = []
+    num_jobs, blocks = QUICK_SCALES["2e4"]
+    base = run_arm("timed", num_jobs=num_jobs, blocks=blocks, shards=1,
+                   stride=1, cycles=2)
+    sharded = run_arm("timed", num_jobs=num_jobs, blocks=blocks, shards=4,
+                      stride=1, cycles=2, partition="affinity")
+    peak = sharded["peak_shard_state_bytes"]
+    if not 0 < peak <= 0.5 * base["store_state_bytes"]:
+        failures.append(
+            f"shards=4 peak possession bytes {peak} not within half of "
+            f"the shards=1 store ({base['store_state_bytes']} bytes)"
+        )
+    pc = run_arm("partition_compare", jobs_per_pod=2, blocks=312,
+                 shards=PODS, cycles=6)
+    if (
+        pc["affinity"]["total_reconciled_directives"]
+        > pc["hash"]["total_reconciled_directives"]
+    ):
+        failures.append(
+            f"affinity clips {pc['affinity']['total_reconciled_directives']}"
+            f" exceed hash clips {pc['hash']['total_reconciled_directives']}"
+            " on the smoke pod workload"
+        )
+    print(
+        f"[shard smoke] possession ratio "
+        f"{peak / base['store_state_bytes']:.3f} (floor 0.5); clips "
+        f"affinity={pc['affinity']['total_reconciled_directives']} vs "
+        f"hash={pc['hash']['total_reconciled_directives']}"
+    )
+    return failures
+
+
 def test_shard_scaling_quick(benchmark, report):
     """Pytest entry: quick-scale smoke — sharded arms run and complete."""
     payload = benchmark.pedantic(
@@ -502,6 +778,14 @@ def test_shard_scaling_quick(benchmark, report):
     for arm in curve:
         assert arm["cycles"] > 0
         assert arm["reconcile_fraction"] < 0.5
+        if arm["shards"] > 1:
+            assert arm["peak_shard_state_bytes"] > 0
+            assert arm["peak_shard_candidate_bytes"] > 0
+    pc = payload["partition_compare"]
+    assert (
+        pc["affinity"]["total_reconciled_directives"]
+        <= pc["hash"]["total_reconciled_directives"]
+    )
     for key, arm in payload["quality"].items():
         if key.startswith("shards_"):
             assert arm["all_complete"]
@@ -527,6 +811,12 @@ def main(argv=None) -> int:
         metavar="SPEC",
         help="internal: run one arm from a JSON spec and print its result",
     )
+    parser.add_argument(
+        "--shard-smoke",
+        action="store_true",
+        help="CI smoke: assert the shard-local memory ratio and the "
+        "affinity-vs-hash clip comparison at quick scale, then exit",
+    )
     args = parser.parse_args(argv)
 
     if args.arm:
@@ -534,6 +824,12 @@ def main(argv=None) -> int:
         fn = ARM_KINDS[spec.pop("kind")]
         print(json.dumps(fn(**spec)))
         return 0
+
+    if args.shard_smoke:
+        failures = shard_smoke()
+        for message in failures:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1 if failures else 0
 
     cpus = os.cpu_count() or 1
     with_process = not args.quick and cpus >= PROCESS_MODE_MIN_CPUS

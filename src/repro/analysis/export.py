@@ -25,18 +25,21 @@ from repro.net.simulator import CycleStats, SimResult
 
 PathLike = Union[str, Path]
 
-EXPORT_FORMAT_VERSION = 7
+EXPORT_FORMAT_VERSION = 8
 
 #: Versions :func:`result_from_dict` can restore. v3 payloads predate the
 #: routing-solver telemetry (iterations/phases/warm_start), v4 payloads
 #: predate the data-plane fields (stage ``deliver_apply``, per-cycle
 #: ``rate_stalemates``), v5 payloads predate the event-engine
 #: accounting (per-cycle ``decision_reused``/``fast_forwarded``, top-level
-#: ``cycles_decision_reused``/``cycles_fast_forwarded``), and v6 payloads
+#: ``cycles_decision_reused``/``cycles_fast_forwarded``), v6 payloads
 #: predate the sharded control-plane telemetry (per-cycle ``sharding``
-#: subdict: shard count, per-shard walls, reconciliation wall); all simply
-#: restore to the zero/false defaults.
-_READABLE_VERSIONS = (3, 4, 5, 6, 7)
+#: subdict: shard count, per-shard walls, reconciliation wall), and v7
+#: payloads predate the shard-local state telemetry (``sharding`` gains
+#: the effective ``stride`` and per-shard ``state_bytes`` /
+#: ``candidate_bytes`` / ``payload_bytes``); all simply restore to the
+#: zero/false defaults.
+_READABLE_VERSIONS = (3, 4, 5, 6, 7, 8)
 
 
 def _resource_to_str(key) -> str:
@@ -116,6 +119,10 @@ def result_to_dict(result: SimResult, include_cycles: bool = True) -> Dict[str, 
                     "shard_max": s.time_shard_max,
                     "shard_mean": s.time_shard_mean,
                     "reconcile": s.time_reconcile,
+                    "stride": s.shard_stride,
+                    "state_bytes": s.shard_state_bytes,
+                    "candidate_bytes": s.shard_candidate_bytes,
+                    "payload_bytes": s.shard_payload_bytes,
                 },
             }
             for s in result.cycle_stats
@@ -139,7 +146,7 @@ class RestoredPossession:
 
 
 def result_from_dict(payload: Dict[str, Any]) -> SimResult:
-    """Rebuild a :class:`SimResult` from a format-v3..v6 export payload.
+    """Rebuild a :class:`SimResult` from a format-v3..v8 export payload.
 
     The inverse of :func:`result_to_dict` for everything the analysis
     layer consumes: completion dicts (bit-identical — JSON round-trips
@@ -191,6 +198,10 @@ def result_from_dict(payload: Dict[str, Any]) -> SimResult:
                 time_shard_max=sharding.get("shard_max", 0.0),
                 time_shard_mean=sharding.get("shard_mean", 0.0),
                 time_reconcile=sharding.get("reconcile", 0.0),
+                shard_stride=sharding.get("stride", 0),
+                shard_state_bytes=sharding.get("state_bytes", 0),
+                shard_candidate_bytes=sharding.get("candidate_bytes", 0),
+                shard_payload_bytes=sharding.get("payload_bytes", 0),
             )
         )
     return SimResult(

@@ -66,7 +66,12 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: sim-v6: the sharded control plane landed (shards=1 stays bit-identical
 #: on the single-controller path) and exports moved to format v7
 #: (per-cycle sharding telemetry), so cached payloads are refreshed once.
-CACHE_CODE_VERSION = "sim-v6"
+#: sim-v7: shard-local possession/candidate state became the default
+#: sharded decide path (bit-identical to the shared-store sub-views, but
+#: a new default path), affinity partitioning and the adaptive stride
+#: landed, and exports moved to format v8 (per-shard state-bytes
+#: telemetry), so cached payloads are refreshed once.
+CACHE_CODE_VERSION = "sim-v7"
 
 
 def _topology_payload(topology: Topology) -> Dict[str, Any]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.baselines import (
     AkamaiStrategy,
@@ -91,8 +91,9 @@ def run_simulation(
     record_cycle_stats: bool = True,
     shards: int = 1,
     shard_seed: int = 0,
-    shard_stride: int = 1,
+    shard_stride: Union[int, str] = 1,
     shard_mode: str = "inprocess",
+    shard_partition: str = "hash",
 ) -> SimResult:
     """Run one strategy over the given jobs and return the result.
 
@@ -104,17 +105,25 @@ def run_simulation(
     drops the per-cycle records for day-scale horizons where the stats
     list would dominate memory.
 
-    ``shards``/``shard_seed``/``shard_stride``/``shard_mode`` configure
-    the sharded control plane (BDS strategies only; see
-    :class:`BDSConfig`). Non-default values are overlaid onto ``config``
-    — explicit shard fields in a caller-supplied config win only when
-    the keyword is left at its default.
+    ``shards``/``shard_seed``/``shard_stride``/``shard_mode``/
+    ``shard_partition`` configure the sharded control plane (BDS
+    strategies only; see :class:`BDSConfig`). ``shard_stride`` also
+    accepts the string ``"auto"`` for the adaptive stride. Non-default
+    values are overlaid onto ``config`` — explicit shard fields in a
+    caller-supplied config win only when the keyword is left at its
+    default.
     """
-    if (shards, shard_seed, shard_stride, shard_mode) != (1, 0, 1, "inprocess"):
+    if (shards, shard_seed, shard_stride, shard_mode, shard_partition) != (
+        1,
+        0,
+        1,
+        "inprocess",
+        "hash",
+    ):
         import dataclasses
 
         base = config or BDSConfig()
-        updates = {}
+        updates: Dict[str, Any] = {}
         if shards != 1:
             updates["shards"] = shards
         if shard_seed != 0:
@@ -123,6 +132,8 @@ def run_simulation(
             updates["shard_stride"] = shard_stride
         if shard_mode != "inprocess":
             updates["shard_mode"] = shard_mode
+        if shard_partition != "hash":
+            updates["shard_partition"] = shard_partition
         config = dataclasses.replace(base, **updates)
     strategy = make_strategy(strategy_name, seed=seed, config=config)
     sim = Simulation(

@@ -39,6 +39,21 @@ from repro.workload.generator import WorkloadGenerator
 from repro.workload.traces import replay_as_jobs, save_trace
 
 
+def _stride_arg(text: str) -> "int | str":
+    """Parse ``--shard-stride``: a positive int or the literal ``auto``."""
+    if text == "auto":
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("stride must be >= 1")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -80,11 +95,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument(
         "--shard-stride",
-        type=int,
+        type=_stride_arg,
         default=1,
         help="shard decide cadence: shard s re-decides only on cycles "
         "with cycle %% stride == s %% stride, replaying its cached "
-        "directives in between (1 = every shard every cycle)",
+        "directives in between (1 = every shard every cycle; 'auto' "
+        "widens/narrows adaptively from measured per-shard walls)",
+    )
+    sim.add_argument(
+        "--shard-partition",
+        choices=("hash", "affinity"),
+        default="hash",
+        help="job-to-shard partition policy: seeded stable hash, or "
+        "greedy source-DC affinity (co-locates jobs sharing a source, "
+        "balanced by pair-count weight)",
     )
     sim.add_argument(
         "--json", default=None, help="write a JSON result export to this path"
@@ -182,6 +206,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         event_engine=not args.tick_engine,
         shards=args.shards,
         shard_stride=args.shard_stride,
+        shard_partition=args.shard_partition,
     )
     if args.json:
         from repro.analysis.export import save_result

@@ -7,12 +7,16 @@ threshold (20 % of every link reserved for latency-sensitive traffic).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 from repro.overlay.blocks import DEFAULT_BLOCK_SIZE
 from repro.utils.validation import check_fraction, check_positive
 
 ROUTING_BACKENDS = ("fptas", "lp", "greedy")
 SHARD_MODES = ("inprocess", "process")
+SHARD_PARTITIONS = ("hash", "affinity")
+#: Sentinel value of ``shard_stride`` selecting the adaptive controller.
+SHARD_STRIDE_AUTO = "auto"
 
 
 @dataclass
@@ -75,13 +79,38 @@ class BDSConfig:
     # the per-cycle controller wall at roughly ceil(shards/stride)
     # shards' worth of work — the knob that fits 10⁷ pairs inside ΔT on
     # one core — at the cost of newly pending work waiting up to
-    # stride-1 cycles for its shard's turn.
-    shard_stride: int = 1
+    # stride-1 cycles for its shard's turn. The string "auto" hands the
+    # knob to the controller's adaptive stride: it starts at 1 and
+    # widens only when the EWMA of the measured per-shard wall
+    # (time_shard_max) projects the per-cycle controller wall past
+    # shard_stride_target × cycle_seconds, narrowing back (with
+    # hysteresis) when slack returns.
+    shard_stride: Union[int, str] = 1
+    # Fraction of cycle_seconds the adaptive stride keeps the projected
+    # per-cycle controller wall under (only read when
+    # shard_stride == "auto").
+    shard_stride_target: float = 0.5
     # Shard execution: "inprocess" loops over shards in index order;
     # "process" fans decides over one persistent single-worker process
     # per shard (pickle-pure payloads, deterministic shard-order
     # gather). Results are identical either way.
     shard_mode: str = "inprocess"
+    # Job→shard partitioning policy: "hash" is the platform-stable
+    # seeded hash of job id (PR 7 behaviour, the default); "affinity"
+    # co-locates jobs sharing a source DC onto the same shard (greedy,
+    # balanced by pair-count weight, hash tie-breaks — see
+    # repro.core.sharding.AffinityAssigner) so shards contend less on
+    # the same WAN links and the outer reconciliation clips fewer
+    # directives.
+    shard_partition: str = "hash"
+    # Shard-local state ownership (the default): each shard decides
+    # against a partition-scoped mirror — its own PossessionIndex
+    # (shard-local block interning), CandidateTable, and CycleCache fed
+    # by delivery-log watermark replay — so per-shard memory and
+    # cold-build work are O(pairs/shards). False restores the PR 7
+    # shared-store sub-views (results are identical either way; the
+    # equivalence tests assert it).
+    shard_local_state: bool = True
 
     def __post_init__(self) -> None:
         if self.speculation_horizon < 0:
@@ -100,10 +129,23 @@ class BDSConfig:
             )
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
-        if self.shard_stride < 1:
+        if isinstance(self.shard_stride, str):
+            if self.shard_stride != SHARD_STRIDE_AUTO:
+                raise ValueError(
+                    f"shard_stride must be an int >= 1 or "
+                    f"{SHARD_STRIDE_AUTO!r}, got {self.shard_stride!r}"
+                )
+        elif self.shard_stride < 1:
             raise ValueError("shard_stride must be >= 1")
+        check_positive("shard_stride_target", self.shard_stride_target)
+        check_fraction("shard_stride_target", self.shard_stride_target)
         if self.shard_mode not in SHARD_MODES:
             raise ValueError(
                 f"shard_mode must be one of {SHARD_MODES}, "
                 f"got {self.shard_mode!r}"
+            )
+        if self.shard_partition not in SHARD_PARTITIONS:
+            raise ValueError(
+                f"shard_partition must be one of {SHARD_PARTITIONS}, "
+                f"got {self.shard_partition!r}"
             )

@@ -8,41 +8,76 @@ decentralized overlay protocol* — Gingko — ensuring graceful degradation
 (§5.3); performance recovers the cycle the controller returns (Fig. 12a).
 
 **Sharded control plane** (``BDSConfig.shards > 1``): the job set is
-partitioned across controller shards by a platform-stable seeded hash of
-job id (:mod:`repro.core.sharding`). Jobs are independent except for WAN
-link budgets — blocks belong to exactly one job, so possession,
-scheduling, and routing all decompose — and each shard runs the full
-vectorized schedule+route pipeline on its own partition with its own
-:class:`~repro.net.cycle_cache.CycleCache` and FPTAS warm store. The
-shared capacities are resolved afterwards by one outer max-min
+partitioned across controller shards — by a platform-stable seeded hash
+of job id (:mod:`repro.core.sharding`), or with
+``shard_partition="affinity"`` by the greedy source-affinity assigner
+(jobs sharing a source DC co-locate, balanced by pair-count weight, hash
+tie-breaks), which lowers the outer reconciliation's clip count because
+one shard sees the contention on its origin links. Jobs are independent
+except for WAN link budgets — blocks belong to exactly one job, so
+possession, scheduling, and routing all decompose — and each shard runs
+the full vectorized schedule+route pipeline on its own partition.
+
+By default (``shard_local_state=True``) each shard owns **only its
+partition's state**: a :class:`~repro.core.shardexec.ShardMirror` with a
+shard-local possession index, candidate table, and
+:class:`~repro.net.cycle_cache.CycleCache`, fed by delivery-log
+watermark replay (see :mod:`repro.core.shardexec`) — per-shard memory
+and cold-build work are O(pairs/shards). ``shard_local_state=False``
+restores the PR 7 shared-store sub-views; results are identical either
+way. The shared capacities are resolved afterwards by one outer max-min
 waterfill (:func:`repro.net.flow.max_min_fair_rates` — the data plane's
 own allocator) over every shard's directives against the
 budget-adjusted capacities, so no directive's cap exceeds its global
 fair share and the Fig. 10 "sum of assigned rates never exceeds the
 budget" property holds at the controller output already.
-``shards=1`` takes the original
-single-controller path, bit-identical to before the knob existed;
-``shards=k`` is deterministic (shards are combined in index order,
-independent of execution mode or worker scheduling).
+
+``shard_stride="auto"`` replaces the static decide cadence with an
+adaptive control law: the stride starts maximally staggered (stride =
+shards, one shard's decide per cycle — the safe side of the ΔT budget,
+since nothing is known about per-shard cost yet) and then tracks an
+EWMA of the measured per-shard wall (``time_shard_max``): it narrows
+one step at a time while the projected per-cycle controller wall —
+``ceil(shards/stride)`` shards' worth of work — stays under 70 % of
+``shard_stride_target × cycle_seconds``, and widens back immediately
+when the projection exceeds that budget (narrowing has the hysteresis;
+widening has none — the budget is a feasibility bound, §5.2's ΔT, not
+a preference).
+
+``shards=1`` takes the original single-controller path, bit-identical to
+before the knob existed; ``shards=k`` is deterministic (shards are
+combined in index order, independent of execution mode or worker
+scheduling).
 """
 
 from __future__ import annotations
 
+import math
 import time as _time
 from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.base import OverlayStrategy
 from repro.baselines.gingko import GingkoStrategy
-from repro.core.config import BDSConfig
+from repro.core.config import SHARD_STRIDE_AUTO, BDSConfig
 from repro.core.decisions import ControlDecision
 from repro.core.routing import BDSRouter
 from repro.core.scheduling import RarestFirstScheduler
-from repro.core.sharding import stable_shard
+from repro.core.sharding import AffinityAssigner, stable_shard
+from repro.core.shardexec import LocalShardRunner, ShardExecutor, ShardResult
 from repro.core.speculation import DeliverySpeculator, SpeculatedView
 from repro.net.cycle_cache import CycleCache
 from repro.net.simulator import ClusterView, TransferDirective
+from repro.overlay.job import MulticastJob
 from repro.utils.rng import SeedLike
+
+#: Adaptive-stride control-law constants (``shard_stride="auto"``):
+#: smoothing factor of the per-shard wall EWMA, and the hysteresis
+#: fraction of the wall budget the projection must fall under before the
+#: stride narrows (widening has no hysteresis — the budget is a
+#: feasibility bound, §5.2's ΔT, not a preference).
+_STRIDE_EWMA_ALPHA = 0.3
+_STRIDE_NARROW_FRACTION = 0.7
 
 
 class _ShardPipeline:
@@ -123,15 +158,34 @@ class BDSController(OverlayStrategy):
         )
         self._previous_directives: List[TransferDirective] = []
         # Sharded control plane (shards > 1): per-shard pipelines, the
-        # memoized job→shard assignment, and the lazily started process
-        # fan-out (shard_mode == "process").
+        # memoized job→shard assignment (sticky — possession state lives
+        # where the job lives), the lazily started execution backends
+        # (in-process mirrors / process fan-out), and the adaptive
+        # stride state.
         self._pipelines: List[_ShardPipeline] = (
             [_ShardPipeline(self.config) for _ in range(self.config.shards)]
             if self.config.shards > 1
             else []
         )
-        self._shard_assign: dict = {}
-        self._shard_executor = None
+        self._shard_assign: Dict[str, int] = {}
+        self._affinity: Optional[AffinityAssigner] = (
+            AffinityAssigner(self.config.shards, seed=self.config.shard_seed)
+            if self.config.shards > 1
+            and self.config.shard_partition == "affinity"
+            else None
+        )
+        self._shard_executor: Optional[ShardExecutor] = None
+        self._shard_runner: Optional[LocalShardRunner] = None
+        self._stride_auto = self.config.shard_stride == SHARD_STRIDE_AUTO
+        # Auto mode starts maximally staggered (one shard per cycle) and
+        # narrows as measurements show slack; a static stride is taken
+        # as configured.
+        self._stride: int = (
+            max(1, self.config.shards)
+            if self._stride_auto
+            else int(self.config.shard_stride)
+        )
+        self._shard_wall_ewma: float = 0.0
 
     @property
     def fallback_active(self) -> bool:
@@ -139,20 +193,63 @@ class BDSController(OverlayStrategy):
         return self._fallback_active
 
     @property
-    def shard_signature(self) -> Optional[Tuple[int, int, int]]:
+    def shard_signature(self) -> Optional[Tuple[int, int, int, str]]:
         """Sharding identity for the event engine's validity key.
 
-        ``(shards, shard_seed, shard_stride)`` when sharded, ``None`` on
-        the single-controller path — so a decision cached under one
-        shard layout is never replayed under another.
+        ``(shards, shard_seed, effective_stride, shard_partition)`` when
+        sharded, ``None`` on the single-controller path — so a decision
+        cached under one shard layout is never replayed under another.
+        The *effective* stride (not the configured knob) is what goes in:
+        under ``shard_stride="auto"`` a stride change re-keys every
+        cached decision, exactly as resizing the static knob would.
         """
         if self.config.shards <= 1:
             return None
         return (
             self.config.shards,
             self.config.shard_seed,
-            self.config.shard_stride,
+            self._stride,
+            self.config.shard_partition,
         )
+
+    @property
+    def wants_shard_local_state(self) -> bool:
+        """True when shards decide against partition-scoped mirrors.
+
+        The :class:`~repro.net.simulator.Simulation` probes this to skip
+        building the global candidate table — the mirrors build their
+        own shard-scoped tables, so the global O(pairs) build would be
+        dead weight (only speculation-overlay cycles would miss it, on
+        their already-scalar fallback path).
+        """
+        return self.config.shards > 1 and self.config.shard_local_state
+
+    def _assign_shard(self, job: MulticastJob) -> int:
+        """The job's shard, assigning it on first sight (sticky after)."""
+        shard = self._shard_assign.get(job.job_id)
+        if shard is None:
+            if self._affinity is not None:
+                shard = self._affinity.assign(job)
+            else:
+                shard = stable_shard(
+                    job.job_id, self.config.shards, self.config.shard_seed
+                )
+            self._shard_assign[job.job_id] = shard
+        return shard
+
+    def _shard_of_id(self, job_id: str) -> int:
+        """Shard ownership lookup by bare job id (the feed's filter).
+
+        Every job with possession churn was bucketed — and therefore
+        assigned — before its first delivery, so the memo answers; the
+        stable-hash fallback only covers ids the controller has never
+        seen (nothing real routes through it, and it is not memoized so
+        an affinity assignment made later still wins).
+        """
+        shard = self._shard_assign.get(job_id)
+        if shard is not None:
+            return shard
+        return stable_shard(job_id, self.config.shards, self.config.shard_seed)
 
     def decide(self, view: ClusterView) -> List[TransferDirective]:
         """One control cycle: schedule, route, emit directives.
@@ -245,15 +342,10 @@ class BDSController(OverlayStrategy):
         """Partitioned decide: per-shard pipelines + WAN reconciliation."""
         cfg = self.config
         k = cfg.shards
-        stride = cfg.shard_stride
-        assign = self._shard_assign
-        buckets: List[List] = [[] for _ in range(k)]
+        stride = self._stride
+        buckets: List[List[MulticastJob]] = [[] for _ in range(k)]
         for job in view.jobs:
-            s = assign.get(job.job_id)
-            if s is None:
-                s = stable_shard(job.job_id, k, cfg.shard_seed)
-                assign[job.job_id] = s
-            buckets[s].append(job)
+            buckets[self._assign_shard(job)].append(job)
 
         # Exactness witness: a speculation overlay wraps the store, so
         # the persistent per-shard caches (whose memos answer for the
@@ -299,11 +391,25 @@ class BDSController(OverlayStrategy):
         routing_runtime = 0.0
         shard_walls: List[float] = []
         horizons: List[Optional[int]] = []
+        state_bytes_max = 0
+        candidate_bytes_max = 0
+        payload_bytes_total = 0
 
-        results = None
+        results: Optional[List[ShardResult]] = None
         if cfg.shard_mode == "process" and due and exact:
             results = self._process_decide(view, buckets, due)
+        if results is None and due and exact and cfg.shard_local_state:
+            # In-process partition-scoped mirrors (the default): each
+            # shard decides against its own possession index, candidate
+            # table, and cache, fed by watermark replay. Bit-identical
+            # to the shared-store sub-views below.
+            if self._shard_runner is None:
+                self._shard_runner = LocalShardRunner(cfg, self._shard_of_id)
+            results = self._shard_runner.decide(view, buckets, due)
         if results is None:
+            # Shared-store sub-views: speculation overlays (whose store
+            # shadows the real one — mirrors must not ingest phantom
+            # copies) and shard_local_state=False.
             results = []
             for s in due:
                 pipe = self._pipelines[s]
@@ -316,7 +422,7 @@ class BDSController(OverlayStrategy):
                 )
                 wall = _time.perf_counter() - started
                 results.append(
-                    _ShardOutcome(
+                    ShardResult(
                         directives=dirs,
                         scheduled_blocks=len(selections),
                         num_commodities=diag.num_commodities,
@@ -346,6 +452,11 @@ class BDSController(OverlayStrategy):
             routing_runtime += outcome.routing_runtime
             shard_walls.append(outcome.wall)
             horizons.append(outcome.reuse_horizon)
+            state_bytes_max = max(state_bytes_max, outcome.state_bytes)
+            candidate_bytes_max = max(
+                candidate_bytes_max, outcome.candidate_bytes
+            )
+            payload_bytes_total += outcome.payload_bytes
 
         directives: List[TransferDirective] = []
         for pipe in self._pipelines:
@@ -398,10 +509,59 @@ class BDSController(OverlayStrategy):
                 ),
                 reconcile_runtime=reconcile_runtime,
                 reconciled_directives=reconciled,
+                shard_stride=stride,
+                shard_state_bytes=state_bytes_max,
+                shard_candidate_bytes=candidate_bytes_max,
+                shard_payload_bytes=payload_bytes_total,
             )
         )
+        if self._stride_auto and shard_walls:
+            self._adapt_stride(max(shard_walls))
         self._previous_directives = directives
         return directives + fallback_directives
+
+    def _adapt_stride(self, wall_max: float) -> None:
+        """One step of the adaptive-stride control law (auto mode only).
+
+        Updates the EWMA of the measured per-shard wall
+        (``time_shard_max``), then projects the per-cycle controller
+        wall at a candidate stride q as ``ceil(shards/q) × EWMA`` — the
+        work of the shards due on one cycle. Starting from the
+        maximally staggered cold-start stride (= shards), the stride
+        narrows one step at a time only while the projection one step
+        tighter stays under 70 % of ``shard_stride_target ×
+        cycle_seconds`` — the hysteresis band that keeps a workload
+        sitting at the boundary from oscillating — and widens (one step
+        at a time, immediately) while the projection at the current
+        stride exceeds the budget. The next :attr:`shard_signature`
+        reflects the new stride, so the event engine never replays a
+        decision across a stride change.
+        """
+        cfg = self.config
+        k = cfg.shards
+        ewma = self._shard_wall_ewma
+        self._shard_wall_ewma = (
+            wall_max
+            if ewma <= 0.0
+            else (1.0 - _STRIDE_EWMA_ALPHA) * ewma
+            + _STRIDE_EWMA_ALPHA * wall_max
+        )
+        target = cfg.shard_stride_target * cfg.cycle_seconds
+
+        def projected(q: int) -> float:
+            return math.ceil(k / q) * self._shard_wall_ewma
+
+        stride = self._stride
+        if projected(stride) > target:
+            while stride < k and projected(stride) > target:
+                stride += 1
+        else:
+            while (
+                stride > 1
+                and projected(stride - 1) <= _STRIDE_NARROW_FRACTION * target
+            ):
+                stride -= 1
+        self._stride = stride
 
     def _reconcile_wan(
         self,
@@ -455,17 +615,22 @@ class BDSController(OverlayStrategy):
                 reconciled += 1
         return out, reconciled
 
-    def _process_decide(self, view: ClusterView, buckets, due: List[int]):
+    def _process_decide(
+        self,
+        view: ClusterView,
+        buckets: List[List[MulticastJob]],
+        due: List[int],
+    ) -> Optional[List[ShardResult]]:
         """Fan the due shards' decides over persistent worker processes.
 
         Returns the per-shard outcomes in ``due`` order, or ``None`` to
-        fall back to the in-process loop (worker pool unavailable or
-        broken — the in-process path is always correct).
+        fall back to the in-process paths (worker pool unavailable or
+        broken — the in-process mirrors and the shared-store loop are
+        always correct; a fresh in-process feed re-snapshots each job's
+        holders from the live store, so mid-run takeover loses nothing).
         """
-        from repro.core.shardexec import ShardExecutor
-
         if self._shard_executor is None:
-            self._shard_executor = ShardExecutor(self.config)
+            self._shard_executor = ShardExecutor(self.config, self._shard_of_id)
         try:
             return self._shard_executor.decide(view, buckets, due)
         except Exception:
@@ -490,52 +655,3 @@ class BDSController(OverlayStrategy):
         if not self.decisions:
             return 0.0
         return sum(d.total_runtime for d in self.decisions) / len(self.decisions)
-
-
-class _ShardOutcome:
-    """One shard's decide output, execution-mode independent.
-
-    The in-process loop and the process workers both reduce to this
-    shape, so the accumulation and replay bookkeeping in
-    :meth:`BDSController._decide_sharded` cannot diverge between modes.
-    """
-
-    __slots__ = (
-        "directives",
-        "scheduled_blocks",
-        "num_commodities",
-        "objective",
-        "schedule_runtime",
-        "routing_runtime",
-        "iterations",
-        "phases",
-        "warm_start",
-        "reuse_horizon",
-        "wall",
-    )
-
-    def __init__(
-        self,
-        directives: Sequence[TransferDirective],
-        scheduled_blocks: int,
-        num_commodities: int,
-        objective: float,
-        schedule_runtime: float,
-        routing_runtime: float,
-        iterations: int,
-        phases: int,
-        warm_start: str,
-        reuse_horizon: Optional[int],
-        wall: float,
-    ) -> None:
-        self.directives = list(directives)
-        self.scheduled_blocks = scheduled_blocks
-        self.num_commodities = num_commodities
-        self.objective = objective
-        self.schedule_runtime = schedule_runtime
-        self.routing_runtime = routing_runtime
-        self.iterations = iterations
-        self.phases = phases
-        self.warm_start = warm_start
-        self.reuse_horizon = reuse_horizon
-        self.wall = wall

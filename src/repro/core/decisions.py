@@ -103,6 +103,17 @@ class ControlDecision:
     shard_wall_mean: float = 0.0
     reconcile_runtime: float = 0.0
     reconciled_directives: int = 0
+    # Shard-local state telemetry (shard_local_state / process mode;
+    # zeros on the shared-store fallback paths, which hold no per-shard
+    # state): the effective decide stride this cycle (the adaptive
+    # stride's current value under shard_stride="auto", the static knob
+    # otherwise), the max per-shard possession-array and candidate-table
+    # bytes over the shards that decided fresh, and the summed
+    # structural size of the delta payloads that fed them.
+    shard_stride: int = 0
+    shard_state_bytes: int = 0
+    shard_candidate_bytes: int = 0
+    shard_payload_bytes: int = 0
 
     @property
     def total_runtime(self) -> float:

@@ -1,80 +1,148 @@
-"""Process fan-out for the sharded controller (``shard_mode="process"``).
+"""Shard-local execution for the sharded controller.
 
-One persistent single-worker :class:`~concurrent.futures.
-ProcessPoolExecutor` per shard gives each shard worker affinity: the
-worker keeps a mirror of its shard's state (jobs, a private
-:class:`~repro.overlay.store.PossessionIndex`, a warm
-:class:`~repro.net.cycle_cache.CycleCache`) across cycles, so per-decide
-payloads are *deltas* — only new jobs, the possession changes since the
-shard's last turn, and the small per-cycle scalars cross the process
-boundary. All payloads are pickle-pure (topologies, jobs, and directives
-are plain dataclasses of primitives; jobs carry no topology reference —
-their placement binding is a string dict).
+This module owns the *partition-scoped state* side of the sharded
+control plane (``BDSConfig.shards > 1``): each shard decides against a
+:class:`ShardMirror` — its own :class:`~repro.overlay.store.
+PossessionIndex` (shard-local block interning and bitsets), its own
+:class:`~repro.net.candidates.CandidateTable`, and its own
+:class:`~repro.net.cycle_cache.CycleCache` — so per-shard possession and
+candidate memory is O(its partition's pairs), not O(total pairs). The
+same mirror class backs both execution modes:
 
-Determinism: the parent submits due shards in shard-index order and
-gathers results in the same order, so the combined directive list is
-identical to the in-process loop's regardless of worker scheduling. The
-worker runs the same scheduler/router construction as an in-process
-shard pipeline; its view is a plain :class:`ClusterView` over the mirror
-store (no candidate table), which takes the scalar cached paths — these
-are bit-identical to the vectorized kernel by the array-control-plane
-equivalence guarantees, so ``shard_mode`` never changes results.
+* ``shard_mode="inprocess"`` (:class:`LocalShardRunner`): mirrors live
+  in the controller's process and are fed directly from the live view;
+* ``shard_mode="process"`` (:class:`ShardExecutor`): one persistent
+  single-worker :class:`~concurrent.futures.ProcessPoolExecutor` per
+  shard gives each shard worker affinity; the worker keeps its mirror
+  across cycles, so per-decide payloads are *deltas*. All payloads are
+  pickle-pure (topologies, jobs, and directives are plain dataclasses of
+  primitives; jobs carry no topology reference — their placement binding
+  is a string dict).
 
-Seeding protocol: the simulator seeds every job's initial placement at
-construction time, *before* any deliveries, and ``PossessionIndex.seed``
-does not write the delivery log — so the first time a job ships to its
-worker, the parent snapshots that job's current holders outright, and
-every later possession change arrives through the delivery-log watermark
-replay. Replays re-apply via ``seed`` (idempotent: an already-set
-possession bit is a no-op), so overlap between a snapshot and the log
-can never double-count.
+Both modes share :class:`ShardFeed`, the parent-side delta bookkeeping:
+the first time a job reaches its shard the feed snapshots that job's
+current holders outright; every later possession change arrives through
+the **delivery-log watermark replay** — the parent keeps one cursor per
+shard into the store's append-only delivery log and forwards only the
+records of blocks the shard owns (blocks belong to exactly one job, jobs
+to exactly one shard). Replays re-apply via ``seed`` (idempotent: an
+already-set possession bit is a no-op), so overlap between a snapshot
+and the log can never double-count. ``PossessionIndex.seed`` does not
+write the delivery log, so initial placements are covered by the
+snapshot alone. Possession is monotone while a simulation runs (the
+simulator never drops copies mid-run; disk-loss enters as *agent*
+failure), so a mirror can never hold a copy the global store has lost.
+
+Because the mirror store answers straight from a live
+:class:`~repro.overlay.store.PossessionMatrix` and carries a candidate
+table, mirror decides run the *vectorized* scheduling kernel and the
+batched router build — bit-identical to the shared-store sub-view path
+by the array-control-plane equivalence guarantees (shard-local gid
+numbering differs with arrival order, but nothing downstream compares
+gids across jobs; holders, duplicate counts, and iteration orders are
+equal), so neither ``shard_mode`` nor ``shard_local_state`` changes
+results. The equivalence tests assert this directly.
+
+Determinism: the parent feeds and submits due shards in shard-index
+order and gathers results in the same order, so the combined directive
+list is identical regardless of worker scheduling.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.core.sharding import stable_shard
+import numpy as np
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import BDSConfig
+    from repro.net.simulator import ClusterView, TransferDirective
+    from repro.net.topology import Topology
+    from repro.overlay.job import MulticastJob
 
 BlockId = Tuple[str, int]
+ResourceKey = Tuple[str, str]
 
 
 @dataclass
 class ShardPayload:
-    """One due shard's decide input (a delta against the worker mirror)."""
+    """One due shard's decide input (a delta against the shard mirror)."""
 
     cycle: int
     time: float
     cycle_seconds: float
-    budgets: Dict
+    budgets: Mapping[ResourceKey, float]
     failed_agents: Tuple[str, ...]
     failed_links: FrozenSet
     active_job_ids: Tuple[str, ...]
-    #: Jobs the worker has not seen yet, with a holders snapshot per block
-    #: (sorted server tuples — deterministic payload bytes).
-    new_jobs: List = field(default_factory=list)
-    new_holders: List[Tuple[BlockId, Tuple[str, ...]]] = field(
+    #: Jobs the mirror has not seen yet, with a holders snapshot as
+    #: ``(job_id, server_id, block-index array)`` batches — one entry
+    #: per (new job, holding server), in job order then ascending
+    #: server-row order (deterministic payload bytes), each carrying the
+    #: ascending indices of that job's blocks the server holds. The
+    #: batched form keeps 10^6-block snapshots out of per-block Python
+    #: loops on both sides of the boundary.
+    new_jobs: List["MulticastJob"] = field(default_factory=list)
+    new_holders: List[Tuple[str, str, "np.ndarray"]] = field(
         default_factory=list
     )
     #: Possession deltas since this shard's previous payload:
     #: ``(block_id, dst_server)`` in delivery-log order.
     deliveries: List[Tuple[BlockId, str]] = field(default_factory=list)
-    #: In-flight partial bytes for this shard's blocks.
-    partials: Dict = field(default_factory=dict)
+    #: In-flight partial bytes. Process mode filters to the shard's
+    #: blocks (pickle size); in-process passes the live map (strategies
+    #: only query their own blocks' keys, so results are identical).
+    partials: Mapping[Tuple[BlockId, str], float] = field(default_factory=dict)
     #: First payload only: the topology, store vectorization flag, and
-    #: controller config the worker builds its pipeline from.
-    topology: Optional[object] = None
+    #: controller config the mirror is built from.
+    topology: Optional["Topology"] = None
     vectorized: bool = True
-    config: Optional[object] = None
+    config: Optional["BDSConfig"] = None
+
+    def approx_bytes(self) -> int:
+        """Structural size estimate of the *delta* stream (bytes).
+
+        Counts the components that actually cross the mirror boundary
+        each decide — new jobs (dominated by their block lists), holders
+        snapshots, and the watermark delivery replay — with fixed
+        per-entry costs, so the telemetry is deterministic and identical
+        across execution modes (a real ``pickle.dumps`` would charge the
+        in-process mode for serialization it never performs). The
+        per-cycle scalars and the shared partials/budget references are
+        excluded.
+        """
+        total = 0
+        for job in self.new_jobs:
+            total += 256 + 96 * len(job.blocks)
+        for _job_id, _server, indices in self.new_holders:
+            total += 48 + 8 * len(indices)
+        total += 56 * len(self.deliveries)
+        return total
 
 
 @dataclass
 class ShardResult:
-    """One shard decide's output, shipped back to the parent."""
+    """One shard decide's output, execution-mode independent.
 
-    directives: List
+    The in-process runner and the process workers both reduce to this
+    shape, so the accumulation and replay bookkeeping in
+    ``BDSController._decide_sharded`` cannot diverge between modes.
+    """
+
+    directives: List["TransferDirective"]
     scheduled_blocks: int
     num_commodities: int
     objective: float
@@ -85,149 +153,299 @@ class ShardResult:
     warm_start: str
     reuse_horizon: Optional[int]
     wall: float
+    #: Shard-local state telemetry: possession-array bytes and candidate
+    #: table bytes of the mirror after this decide, and the structural
+    #: size of the delta payload that fed it. Zero on the shared-store
+    #: fallback path (``shard_local_state=False`` / speculation
+    #: overlays), which holds no per-shard state.
+    state_bytes: int = 0
+    candidate_bytes: int = 0
+    payload_bytes: int = 0
 
 
-# Worker-process mirror state. Each pool has exactly one worker and
-# serves exactly one shard, so a single module global suffices.
-_STATE: Optional[dict] = None
+class ShardMirror:
+    """One shard's partition-scoped control state.
 
+    Owns everything a shard needs to decide: a shard-local possession
+    index (only the shard's blocks are ever interned, so its matrix
+    capacity — bits, dup counts, DC counts — grows with the partition,
+    not the cluster), the shard's candidate table built incrementally as
+    jobs arrive, the scheduler/router pair (with the router's private
+    FPTAS warm store), and a persistent :class:`CycleCache`. Fed by
+    :meth:`apply`-ing :class:`ShardPayload` deltas; :meth:`decide` runs
+    one schedule+route over a plain :class:`ClusterView` whose store IS
+    the mirror — the exactness witness holds, so the vectorized kernel
+    and the batched router build engage.
+    """
 
-def _worker_decide(payload: ShardPayload) -> ShardResult:
-    import time as _time
+    def __init__(
+        self,
+        topology: "Topology",
+        config: "BDSConfig",
+        vectorized: bool = True,
+        block_capacity: int = 64,
+    ) -> None:
+        from repro.core.routing import BDSRouter
+        from repro.core.scheduling import RarestFirstScheduler
+        from repro.net.cycle_cache import CycleCache
+        from repro.overlay.store import PossessionIndex
 
-    from repro.core.routing import BDSRouter
-    from repro.core.scheduling import RarestFirstScheduler
-    from repro.net.cycle_cache import CycleCache
-    from repro.net.simulator import ClusterView
-    from repro.overlay.store import PossessionIndex
-
-    global _STATE
-    if _STATE is None:
-        topology = payload.topology
-        config = payload.config
+        self.topology = topology
+        self.config = config
         server_dc = {
             server.server_id: server.dc
             for server in topology.servers.values()
         }
-        _STATE = {
-            "topology": topology,
-            "store": PossessionIndex(server_dc, vectorized=payload.vectorized),
-            "jobs_by_id": {},
-            "blocks_by_id": {},
-            "scheduler": RarestFirstScheduler(
-                max_blocks_per_cycle=config.max_blocks_per_cycle,
-                use_relays=config.use_relays,
+        # Right-size the matrix to the partition: callers pass the block
+        # count of the shard's first job batch, so per-shard possession
+        # arrays start at ~pairs/k instead of the cluster-scale floor.
+        self.store = PossessionIndex(
+            server_dc, vectorized=vectorized, block_capacity=block_capacity
+        )
+        self.jobs_by_id: Dict[str, "MulticastJob"] = {}
+        self.blocks_by_id: Dict[BlockId, object] = {}
+        self.scheduler = RarestFirstScheduler(
+            max_blocks_per_cycle=config.max_blocks_per_cycle,
+            use_relays=config.use_relays,
+        )
+        self.router = BDSRouter(
+            backend=config.routing_backend,
+            epsilon=config.epsilon,
+            max_sources_per_group=config.max_sources_per_group,
+            merge_blocks=config.merge_blocks,
+        )
+        self.cache = CycleCache()
+        self.candidates = None
+        if self.store.matrix is not None:
+            from repro.net.candidates import CandidateTable
+
+            self.candidates = CandidateTable((), self.store.matrix)
+
+    def apply(self, payload: ShardPayload) -> None:
+        """Fold one delta payload into the mirror (idempotent seeds).
+
+        With the matrix backing, each new job's blocks are interned as
+        one contiguous column range up front, so the holders snapshot
+        and the delivery replay land as whole-array ``set_many`` batches
+        (``base + block-index``) instead of per-block facade calls — the
+        final possession bits, duplicate counts, and epoch total are
+        identical to the sequential form (seeds are idempotent and
+        commute across distinct (server, block) pairs).
+        """
+        store = self.store
+        matrix = store.matrix
+        blocks_by_id = self.blocks_by_id
+        job_base: Dict[str, int] = {}
+        for job in payload.new_jobs:
+            self.jobs_by_id[job.job_id] = job
+            if matrix is None:
+                # The per-block object map only serves the scalar seed
+                # path below; the matrix path addresses blocks by column
+                # id and never chases the 10^6 Block objects here.
+                for block in job.blocks:
+                    blocks_by_id[block.block_id] = block
+            if matrix is not None:
+                base = matrix.intern_block_range(
+                    job.job_id, len(job.blocks)
+                )
+                job_base[job.job_id] = base
+                if self.candidates is not None:
+                    self.candidates.ensure_job(
+                        job,
+                        gids=np.arange(
+                            base, base + len(job.blocks), dtype=np.int64
+                        ),
+                    )
+            elif self.candidates is not None:
+                self.candidates.ensure_job(job)
+        if matrix is not None:
+            for job_id, server, indices in payload.new_holders:
+                store.seed_gids(server, job_base[job_id] + indices)
+            if payload.deliveries:
+                gid_of = matrix.block_gids
+                by_server: Dict[str, List[int]] = {}
+                for block_id, dst in payload.deliveries:
+                    by_server.setdefault(dst, []).append(gid_of[block_id])
+                for dst, gids in by_server.items():
+                    store.seed_gids(
+                        dst, np.asarray(gids, dtype=np.int64)
+                    )
+        else:
+            for job_id, server, indices in payload.new_holders:
+                blocks = self.jobs_by_id[job_id].blocks
+                store.seed(server, [blocks[i] for i in indices])
+            for block_id, dst in payload.deliveries:
+                store.seed(dst, (blocks_by_id[block_id],))
+
+    def decide(self, payload: ShardPayload) -> ShardResult:
+        """One schedule+route over the mirror for this payload's cycle."""
+        import time as _time
+
+        from repro.net.simulator import ClusterView
+
+        view = ClusterView(
+            topology=self.topology,
+            store=self.store,
+            jobs=[self.jobs_by_id[jid] for jid in payload.active_job_ids],
+            cycle=payload.cycle,
+            time=payload.time,
+            cycle_seconds=payload.cycle_seconds,
+            bulk_capacities=payload.budgets,
+            failed_agents=set(payload.failed_agents),
+            controller_available=True,
+            partial_bytes=payload.partials,
+            failed_links=payload.failed_links,
+            cache=self.cache,
+            candidates=self.candidates,
+        )
+        started = _time.perf_counter()
+        selections = self.scheduler.select(view)
+        directives, diag = self.router.route(
+            view, selections, batch=getattr(self.scheduler, "last_batch", None)
+        )
+        wall = _time.perf_counter() - started
+        return ShardResult(
+            directives=directives,
+            scheduled_blocks=len(selections),
+            num_commodities=diag.num_commodities,
+            objective=diag.objective,
+            schedule_runtime=getattr(self.scheduler, "last_runtime", 0.0),
+            routing_runtime=diag.runtime,
+            iterations=diag.iterations,
+            phases=diag.phases,
+            warm_start=diag.warm_start,
+            reuse_horizon=diag.reuse_horizon,
+            wall=wall,
+            state_bytes=self.store.state_bytes(),
+            candidate_bytes=(
+                self.candidates.state_bytes()
+                if self.candidates is not None
+                else 0
             ),
-            "router": BDSRouter(
-                backend=config.routing_backend,
-                epsilon=config.epsilon,
-                max_sources_per_group=config.max_sources_per_group,
-                merge_blocks=config.merge_blocks,
-            ),
-            "cache": CycleCache(),
-        }
-    st = _STATE
-    store = st["store"]
-    blocks_by_id = st["blocks_by_id"]
-    for job in payload.new_jobs:
-        st["jobs_by_id"][job.job_id] = job
-        for block in job.blocks:
-            blocks_by_id[block.block_id] = block
-    for block_id, servers in payload.new_holders:
-        block = blocks_by_id[block_id]
-        for server in servers:
-            store.seed(server, (block,))
-    for block_id, dst in payload.deliveries:
-        store.seed(dst, (blocks_by_id[block_id],))
-
-    view = ClusterView(
-        topology=st["topology"],
-        store=store,
-        jobs=[st["jobs_by_id"][jid] for jid in payload.active_job_ids],
-        cycle=payload.cycle,
-        time=payload.time,
-        cycle_seconds=payload.cycle_seconds,
-        bulk_capacities=payload.budgets,
-        failed_agents=set(payload.failed_agents),
-        controller_available=True,
-        partial_bytes=payload.partials,
-        failed_links=payload.failed_links,
-        cache=st["cache"],
-    )
-    scheduler = st["scheduler"]
-    router = st["router"]
-    started = _time.perf_counter()
-    selections = scheduler.select(view)
-    directives, diag = router.route(
-        view, selections, batch=getattr(scheduler, "last_batch", None)
-    )
-    wall = _time.perf_counter() - started
-    return ShardResult(
-        directives=directives,
-        scheduled_blocks=len(selections),
-        num_commodities=diag.num_commodities,
-        objective=diag.objective,
-        schedule_runtime=getattr(scheduler, "last_runtime", 0.0),
-        routing_runtime=diag.runtime,
-        iterations=diag.iterations,
-        phases=diag.phases,
-        warm_start=diag.warm_start,
-        reuse_horizon=diag.reuse_horizon,
-        wall=wall,
-    )
+            payload_bytes=payload.approx_bytes(),
+        )
 
 
-class ShardExecutor:
-    """Parent-side manager of the per-shard worker pools."""
+class ShardFeed:
+    """Parent-side delta bookkeeping, shared by both execution modes.
 
-    def __init__(self, config) -> None:
-        self.config = config
-        self._pools: List[Optional[ProcessPoolExecutor]] = [
-            None
-        ] * config.shards
-        self._known_jobs: List[set] = [set() for _ in range(config.shards)]
-        self._watermarks: List[int] = [0] * config.shards
-        self._job_shard: Dict[str, int] = {}
+    Tracks per shard which jobs the mirror already knows and a watermark
+    into the store's append-only delivery log; :meth:`payload` emits
+    exactly the delta between the mirror's last feeding and the live
+    view. Job→shard ownership is resolved through the controller's
+    ``shard_of`` callable so hash and affinity partitioning feed the
+    same mirrors they decide (the feed must never re-derive assignments
+    with a different policy than the bucketer).
+    """
 
-    def _shard_of(self, job_id: str) -> int:
-        shard = self._job_shard.get(job_id)
-        if shard is None:
-            shard = stable_shard(job_id, self.config.shards, self.config.shard_seed)
-            self._job_shard[job_id] = shard
-        return shard
+    def __init__(self, shards: int, shard_of: Callable[[str], int]) -> None:
+        self._shard_of = shard_of
+        self._known_jobs: List[Set[str]] = [set() for _ in range(shards)]
+        self._watermarks: List[int] = [0] * shards
+        self._initialized: List[bool] = [False] * shards
 
-    def _payload(self, view, shard: int, bucket: Sequence) -> ShardPayload:
+    def payload(
+        self,
+        view: "ClusterView",
+        shard: int,
+        bucket: Sequence["MulticastJob"],
+        config: "BDSConfig",
+        isolate: bool,
+    ) -> ShardPayload:
+        """The shard's delta payload for this cycle's view.
+
+        ``isolate=True`` (process mode) copies the budget map and
+        filters the partial-bytes map to the shard's blocks — the
+        payload crosses a pickle boundary. ``isolate=False`` (in-process
+        mirrors) passes the live mappings through: the mirror only
+        queries its own blocks' keys, results are identical, and the
+        filtering cost vanishes.
+        """
         known = self._known_jobs[shard]
         new_jobs = [job for job in bucket if job.job_id not in known]
-        new_holders: List[Tuple[BlockId, Tuple[str, ...]]] = []
+        new_holders: List[Tuple[str, str, np.ndarray]] = []
         store = view.store
+        matrix = getattr(store, "matrix", None)
         for job in new_jobs:
             known.add(job.job_id)
-            for block in job.blocks:
-                holders = store.holders(block.block_id)
-                if holders:
+            if matrix is not None:
+                # One row-gather per (job, server) replaces the
+                # per-block holders() scan: gather the job's column ids
+                # once, then test each server's bit row against them.
+                # Keys are built as (job_id, index) tuples directly —
+                # block ids are exactly that, and skipping the Block
+                # objects keeps the gather from pointer-chasing 10^6
+                # dataclass instances inside the decide wall.
+                gid_map = matrix.block_gids
+                n_blocks = len(job.blocks)
+                job_id = job.job_id
+                get_gid = gid_map.get
+                gids = np.fromiter(
+                    (get_gid((job_id, i), -1) for i in range(n_blocks)),
+                    dtype=np.int64,
+                    count=n_blocks,
+                )
+                seen = gids >= 0
+                if not seen.any():
+                    continue
+                sub_gids = gids[seen]
+                sub_idx = np.flatnonzero(seen)
+                held = matrix.dup[sub_gids] > 0
+                if not held.any():
+                    continue
+                sub_gids = sub_gids[held]
+                sub_idx = sub_idx[held]
+                names = matrix.server_names
+                for sid in range(matrix.num_servers):
+                    mask = matrix.test_row_many(sid, sub_gids)
+                    if mask.any():
+                        new_holders.append(
+                            (job.job_id, names[sid], sub_idx[mask])
+                        )
+            else:
+                per_server: Dict[str, List[int]] = {}
+                for block in job.blocks:
+                    for server in store.holders(block.block_id):
+                        per_server.setdefault(server, []).append(
+                            block.index
+                        )
+                for server in sorted(per_server):
                     new_holders.append(
-                        (block.block_id, tuple(sorted(holders)))
+                        (
+                            job.job_id,
+                            server,
+                            np.asarray(
+                                per_server[server], dtype=np.int64
+                            ),
+                        )
                     )
         log = store.deliveries
         watermark = self._watermarks[shard]
+        shard_of = self._shard_of
         deliveries = [
             (record.block_id, record.dst_server)
             for record in log[watermark:]
-            if self._shard_of(record.block_id[0]) == shard
+            if shard_of(record.block_id[0]) == shard
         ]
         self._watermarks[shard] = len(log)
-        partials = {
-            key: value
-            for key, value in getattr(view, "_partial", {}).items()
-            if self._shard_of(key[0][0]) == shard
-        }
-        first = self._pools[shard] is None
+        partial_map = getattr(view, "_partial", {})
+        if isolate:
+            partials = {
+                key: value
+                for key, value in partial_map.items()
+                if shard_of(key[0][0]) == shard
+            }
+            budgets: Mapping[ResourceKey, float] = dict(view.bulk_capacities)
+        else:
+            partials = partial_map
+            budgets = view.bulk_capacities
+        first = not self._initialized[shard]
+        self._initialized[shard] = True
         return ShardPayload(
             cycle=view.cycle,
             time=view.time,
             cycle_seconds=view.cycle_seconds,
-            budgets=dict(view.bulk_capacities),
+            budgets=budgets,
             failed_agents=tuple(sorted(view.failed_agents)),
             failed_links=view.failed_links,
             active_job_ids=tuple(job.job_id for job in bucket),
@@ -237,14 +455,117 @@ class ShardExecutor:
             partials=partials,
             topology=view.topology if first else None,
             vectorized=getattr(store, "matrix", None) is not None,
-            config=self.config if first else None,
+            config=config if first else None,
         )
 
-    def decide(self, view, buckets, due: Sequence[int]) -> List[ShardResult]:
+
+class LocalShardRunner:
+    """In-process shard-local mirrors (``shard_local_state``, default).
+
+    The in-process twin of :class:`ShardExecutor`: same feed, same
+    mirrors, no process boundary. Compared to the PR 7 shared-store
+    sub-views this trades one extra (partitioned) copy of possession
+    state for per-shard candidate tables and caches that are
+    O(pairs/shards) — the memory shape that lets a shard lift out to its
+    own process or host unchanged.
+    """
+
+    def __init__(
+        self, config: "BDSConfig", shard_of: Callable[[str], int]
+    ) -> None:
+        self.config = config
+        self.feed = ShardFeed(config.shards, shard_of)
+        self._mirrors: List[Optional[ShardMirror]] = [None] * config.shards
+
+    def decide(
+        self,
+        view: "ClusterView",
+        buckets: Sequence[Sequence["MulticastJob"]],
+        due: Sequence[int],
+    ) -> List[ShardResult]:
+        """Run the due shards' decides in shard-index order."""
+        results: List[ShardResult] = []
+        for shard in due:
+            payload = self.feed.payload(
+                view, shard, buckets[shard], self.config, isolate=False
+            )
+            mirror = self._mirrors[shard]
+            if mirror is None:
+                mirror = ShardMirror(
+                    view.topology,
+                    self.config,
+                    vectorized=payload.vectorized,
+                    block_capacity=_payload_block_count(payload),
+                )
+                self._mirrors[shard] = mirror
+            mirror.apply(payload)
+            results.append(mirror.decide(payload))
+        return results
+
+    def mirror_state_bytes(self) -> List[Tuple[int, int]]:
+        """Per existing mirror: (possession bytes, candidate bytes)."""
+        out: List[Tuple[int, int]] = []
+        for mirror in self._mirrors:
+            if mirror is None:
+                continue
+            out.append(
+                (
+                    mirror.store.state_bytes(),
+                    mirror.candidates.state_bytes()
+                    if mirror.candidates is not None
+                    else 0,
+                )
+            )
+        return out
+
+
+def _payload_block_count(payload: ShardPayload) -> int:
+    """Matrix-capacity hint from a mirror's first payload."""
+    return max(64, sum(len(job.blocks) for job in payload.new_jobs))
+
+
+# Worker-process mirror. Each pool has exactly one worker and serves
+# exactly one shard, so a single module global suffices.
+_MIRROR: Optional[ShardMirror] = None
+
+
+def _worker_decide(payload: ShardPayload) -> ShardResult:
+    global _MIRROR
+    if _MIRROR is None:
+        _MIRROR = ShardMirror(
+            payload.topology,
+            payload.config,
+            vectorized=payload.vectorized,
+            block_capacity=_payload_block_count(payload),
+        )
+    _MIRROR.apply(payload)
+    return _MIRROR.decide(payload)
+
+
+class ShardExecutor:
+    """Parent-side manager of the per-shard worker pools."""
+
+    def __init__(
+        self, config: "BDSConfig", shard_of: Callable[[str], int]
+    ) -> None:
+        self.config = config
+        self.feed = ShardFeed(config.shards, shard_of)
+        self._pools: List[Optional[ProcessPoolExecutor]] = [
+            None
+        ] * config.shards
+
+    def decide(
+        self,
+        view: "ClusterView",
+        buckets: Sequence[Sequence["MulticastJob"]],
+        due: Sequence[int],
+    ) -> List[ShardResult]:
         """Run the due shards' decides concurrently; results in due order."""
         futures = []
         for shard in due:
-            payload = self._payload(view, shard, buckets[shard])
+            payload = self.feed.payload(
+                view, shard, buckets[shard], self.config, isolate=True
+            )
             pool = self._pools[shard]
             if pool is None:
                 pool = ProcessPoolExecutor(max_workers=1)

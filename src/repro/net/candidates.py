@@ -28,7 +28,7 @@ tracks remaining work, not total state size.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -94,6 +94,13 @@ class CandidateTable:
     overlays must *not* carry the table (their store shadows the matrix
     with phantom copies); :class:`~repro.core.speculation.SpeculatedView`
     drops it, which sends the scheduler down the scalar path.
+
+    The table also grows incrementally: a sharded controller's
+    partition-scoped mirrors start empty and :meth:`ensure_job` each job
+    the first time its shard sees it (the group arrays are identical to
+    a build-at-once table — only the interned gid numbering differs with
+    arrival order, and nothing downstream compares gids across jobs), so
+    a mirror's candidate memory is O(its partition's pairs).
     """
 
     def __init__(
@@ -101,18 +108,36 @@ class CandidateTable:
     ) -> None:
         self.matrix = matrix
         self.groups_by_job: Dict[str, List[CandidateGroup]] = {}
-        server_ids = matrix.server_ids
         for job in jobs:
+            self.ensure_job(job)
+
+    def ensure_job(
+        self, job: MulticastJob, gids: Optional[np.ndarray] = None
+    ) -> None:
+        """Build the job's candidate groups if not already present.
+
+        ``gids`` lets a caller that just bulk-interned the job's blocks
+        (shard mirrors via :meth:`PossessionMatrix.intern_block_range`)
+        hand the column ids over directly, skipping the per-block intern
+        loop on the cold path.
+        """
+        if job.job_id in self.groups_by_job:
+            return
+        matrix = self.matrix
+        server_ids = matrix.server_ids
+        if gids is None:
             gids = np.fromiter(
                 (matrix.intern(b.block_id) for b in job.blocks),
                 dtype=np.int64,
                 count=len(job.blocks),
             )
-            indices = np.arange(len(job.blocks), dtype=np.int64)
-            groups: List[CandidateGroup] = []
-            for dc, is_relay in [(d, False) for d in job.dst_dcs] + [
-                (d, True) for d in job.relay_dcs
-            ]:
+        indices = np.arange(len(job.blocks), dtype=np.int64)
+        groups: List[CandidateGroup] = []
+        for dc, is_relay in [(d, False) for d in job.dst_dcs] + [
+            (d, True) for d in job.relay_dcs
+        ]:
+            dst_sids = self._striped_sids(job, dc)
+            if dst_sids is None:
                 dst_sids = np.fromiter(
                     (
                         server_ids[job.assigned_server(dc, b.block_id)]
@@ -121,15 +146,77 @@ class CandidateTable:
                     dtype=np.int64,
                     count=len(job.blocks),
                 )
-                groups.append(
-                    CandidateGroup(
-                        job=job,
-                        dc=dc,
-                        dc_gid=matrix.dc_ids[dc],
-                        is_relay=is_relay,
-                        gids=gids,
-                        indices=indices,
-                        dst_sids=dst_sids,
-                    )
+            groups.append(
+                CandidateGroup(
+                    job=job,
+                    dc=dc,
+                    dc_gid=matrix.dc_ids[dc],
+                    is_relay=is_relay,
+                    gids=gids,
+                    indices=indices,
+                    dst_sids=dst_sids,
                 )
-            self.groups_by_job[job.job_id] = groups
+            )
+        self.groups_by_job[job.job_id] = groups
+
+    def _striped_sids(
+        self, job: MulticastJob, dc: str
+    ) -> Optional[np.ndarray]:
+        """Vectorized per-block destination sids via striping periodicity.
+
+        :meth:`MulticastJob.bind` stripes round-robin by block index
+        (``servers[index % len(servers)]``), so the per-block assigned
+        server repeats with period = the DC's server count. Probing the
+        assignment until the first server recurs recovers that pattern
+        with O(servers-per-DC) lookups instead of O(blocks); the pattern
+        is then verified at the last and middle block (and the repeat
+        point itself) before use. Returns ``None`` — caller falls back
+        to the exact per-block loop — if any probe disagrees, so a
+        hypothetical non-round-robin layout stays correct, just slower.
+        """
+        blocks = job.blocks
+        n = len(blocks)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        server_ids = self.matrix.server_ids
+        assigned = job.assigned_server
+        first = server_ids[assigned(dc, blocks[0].block_id)]
+        pattern: List[int] = [first]
+        for k in range(1, n):
+            sid = server_ids[assigned(dc, blocks[k].block_id)]
+            if sid == first:
+                break
+            pattern.append(sid)
+        period = len(pattern)
+        if period >= n:
+            return np.asarray(pattern, dtype=np.int64)
+        for probe in (period, n // 2, n - 1):
+            if (
+                server_ids[assigned(dc, blocks[probe].block_id)]
+                != pattern[probe % period]
+            ):
+                return None
+        pat = np.asarray(pattern, dtype=np.int64)
+        return pat[np.arange(n, dtype=np.int64) % period]
+
+    def state_bytes(self) -> int:
+        """Bytes held by the candidate arrays (plus the object caches).
+
+        Per group: the shared gids/indices arrays are counted once per
+        job via their group references (they alias across a job's
+        groups, but the estimate deliberately counts the per-group view
+        the kernel touches — a stable, monotone overapproximation that
+        shrinks with ``alive`` compaction), the per-group dst/alive
+        arrays, and 8 pointer bytes per ScheduledBlock cache slot.
+        """
+        total = 0
+        for groups in self.groups_by_job.values():
+            for g in groups:
+                total += int(
+                    g.gids.nbytes
+                    + g.indices.nbytes
+                    + g.dst_sids.nbytes
+                    + g.alive.nbytes
+                )
+                total += 16 * len(g.objs)
+        return total

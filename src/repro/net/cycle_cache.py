@@ -19,10 +19,15 @@ explicit validity key so stale answers are structurally impossible:
 * **rarity** — cluster-wide duplicate counts per block, same validity
   as sources.
 
-The cache is owned by the :class:`~repro.net.simulator.Simulation` and
-threaded into each cycle's :class:`~repro.net.simulator.ClusterView`;
-derived views (speculation overlays, partition clones) must *not* share
-it because their store/failure state differs — they get a fresh instance.
+Ownership: the :class:`~repro.net.simulator.Simulation` owns one
+instance and threads it into each cycle's
+:class:`~repro.net.simulator.ClusterView`; each
+:class:`~repro.core.shardexec.ShardMirror` additionally owns its *own*
+persistent instance scoped to that shard's partition, so memo tables
+(and their flush churn) are O(pairs/k) per shard rather than cluster
+wide. Derived views (speculation overlays, partition clones) must *not*
+share any of these because their store/failure state differs — they get
+a fresh instance.
 """
 
 from __future__ import annotations

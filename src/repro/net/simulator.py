@@ -230,6 +230,16 @@ class CycleStats:
     time_shard_max: float = 0.0
     time_shard_mean: float = 0.0
     time_reconcile: float = 0.0
+    # Shard-local state telemetry, forwarded from the strategy's
+    # decision record (zeros on the shared-store paths): the effective
+    # decide stride this cycle (tracks the adaptive stride under
+    # shard_stride="auto"), max per-shard possession-array and
+    # candidate-table bytes over the shards that decided fresh, and the
+    # summed structural size of the mirror delta payloads.
+    shard_stride: int = 0
+    shard_state_bytes: int = 0
+    shard_candidate_bytes: int = 0
+    shard_payload_bytes: int = 0
 
 
 @dataclass
@@ -784,9 +794,19 @@ class Simulation:
         # Static candidate arrays for the vectorized scheduling kernel:
         # every (block, destination/relay DC) pair of every job, as
         # parallel int arrays. Built once, after seeding (so pre-seeded
-        # copies compact out on the first cycle's gather).
+        # copies compact out on the first cycle's gather). Skipped when
+        # the strategy decides against partition-scoped shard mirrors
+        # (BDSController with shards > 1 and shard_local_state): the
+        # mirrors build their own shard-scoped tables, O(pairs/shards)
+        # each, and a global O(pairs) build would be dead weight — only
+        # speculation-overlay cycles would miss it, on their
+        # already-scalar fallback path.
         self._cand_table = None
-        if self.config.incremental_engine and self.store.matrix is not None:
+        if (
+            self.config.incremental_engine
+            and self.store.matrix is not None
+            and not getattr(strategy, "wants_shard_local_state", False)
+        ):
             from repro.net.candidates import CandidateTable
 
             self._cand_table = CandidateTable(self.jobs, self.store.matrix)
@@ -1377,6 +1397,10 @@ class Simulation:
                 time_shard_max = 0.0
                 time_shard_mean = 0.0
                 time_reconcile = 0.0
+                shard_stride = 0
+                shard_state_bytes = 0
+                shard_candidate_bytes = 0
+                shard_payload_bytes = 0
                 if not reused and last_decision_fn is not None:
                     decision = last_decision_fn()
                     if decision is not None and decision.cycle == cycle:
@@ -1398,6 +1422,16 @@ class Simulation:
                         )
                         time_reconcile = getattr(
                             decision, "reconcile_runtime", 0.0
+                        )
+                        shard_stride = getattr(decision, "shard_stride", 0)
+                        shard_state_bytes = getattr(
+                            decision, "shard_state_bytes", 0
+                        )
+                        shard_candidate_bytes = getattr(
+                            decision, "shard_candidate_bytes", 0
+                        )
+                        shard_payload_bytes = getattr(
+                            decision, "shard_payload_bytes", 0
                         )
                 stats = CycleStats(
                     cycle=cycle,
@@ -1422,6 +1456,10 @@ class Simulation:
                     time_shard_max=time_shard_max,
                     time_shard_mean=time_shard_mean,
                     time_reconcile=time_reconcile,
+                    shard_stride=shard_stride,
+                    shard_state_bytes=shard_state_bytes,
+                    shard_candidate_bytes=shard_candidate_bytes,
+                    shard_payload_bytes=shard_payload_bytes,
                 )
                 if cfg.record_link_stats:
                     usage: Dict[ResourceKey, float] = {}

@@ -163,6 +163,32 @@ class PossessionMatrix:
         """The block's column id, or ``None`` if never interned."""
         return self.block_gids.get(block_id)
 
+    def intern_block_range(self, job_id: str, count: int) -> int:
+        """Intern blocks ``(job_id, 0..count-1)`` as consecutive columns.
+
+        Returns the first column id, so callers can address the whole
+        job with ``base + block_index`` arrays instead of per-block dict
+        lookups. If block 0 is already interned the existing base is
+        returned — the caller contract is that the *same* bulk call
+        interned the full range then (shard mirrors intern each job
+        exactly once, before any of its possession bits land), so the
+        range is contiguous by construction.
+        """
+        base = self.block_gids.get((job_id, 0))
+        if base is not None:
+            return base
+        base = len(self.block_names)
+        if base + count > self._capacity:
+            self._grow(base + count)
+        # Bulk-register the range: one tuple list shared by the dict and
+        # the name table keeps a 10^6-block job out of a per-block Python
+        # loop (the mirror cold path runs inside the controller's decide
+        # wall, unlike the simulator's build-at-init interning).
+        new_ids = [(job_id, index) for index in range(count)]
+        self.block_gids.update(zip(new_ids, range(base, base + count)))
+        self.block_names.extend(new_ids)
+        return base
+
     def _grow(self, needed: int) -> None:
         capacity = max(self._capacity * 2, (needed + 63) & ~63)
         capacity = (capacity + 63) & ~63
@@ -207,7 +233,11 @@ class PossessionMatrix:
         with one gather, the row is OR-updated wordwise, and the
         duplicate/DC counters advance with unique fancy indexing.
         """
-        unique = np.unique(np.asarray(list(gids), dtype=np.int64))
+        if isinstance(gids, np.ndarray):
+            arr = gids.astype(np.int64, copy=False)
+        else:
+            arr = np.asarray(list(gids), dtype=np.int64)
+        unique = np.unique(arr)
         if unique.size == 0:
             return 0
         row = self.bits[sid]
@@ -299,6 +329,18 @@ class PossessionMatrix:
         """Per-(DC, block) "does the DC hold any copy" gather."""
         return self.dc_counts[dc_gids, gids] > 0
 
+    # -- telemetry ---------------------------------------------------------
+
+    def state_bytes(self) -> int:
+        """Bytes held by the possession arrays (bits + dup + dc_counts).
+
+        The dominant, capacity-proportional memory of the matrix — the
+        per-shard footprint the sharded control plane's telemetry tracks
+        (interning dicts are excluded; they are O(blocks) pointers and
+        identical across backings).
+        """
+        return int(self.bits.nbytes + self.dup.nbytes + self.dc_counts.nbytes)
+
 
 class PossessionIndex:
     """Tracks block possession per server with O(1) updates and lookups.
@@ -319,7 +361,10 @@ class PossessionIndex:
     """
 
     def __init__(
-        self, server_dc: Mapping[str, str], vectorized: bool = True
+        self,
+        server_dc: Mapping[str, str],
+        vectorized: bool = True,
+        block_capacity: int = 1024,
     ) -> None:
         # server id -> DC name; fixed for the lifetime of the index.
         self._server_dc: Dict[str, str] = dict(server_dc)
@@ -330,7 +375,13 @@ class PossessionIndex:
         self._server_blocks: Dict[str, Set[BlockId]] = {}
         self._dc_counts: Dict[Tuple[str, BlockId], int] = {}
         if vectorized:
-            self.matrix = PossessionMatrix(self._server_dc)
+            # ``block_capacity`` sizes the matrix's initial column space.
+            # Shard mirrors pass their partition's block count so a 1/k
+            # partition holds ~1/k of the arrays instead of being
+            # quantized up by the default floor + power-of-two growth.
+            self.matrix = PossessionMatrix(
+                self._server_dc, block_capacity=block_capacity
+            )
         else:
             self._server_blocks = {s: set() for s in self._server_dc}
 
@@ -360,6 +411,24 @@ class PossessionIndex:
             return
         for block in blocks:
             self._add(block.block_id, server_id)
+
+    def seed_gids(self, server_id: str, gids: "np.ndarray") -> None:
+        """Matrix-only bulk :meth:`seed` by pre-interned column ids.
+
+        The shard mirrors' fast ingest path: a whole (server, job) batch
+        of initial copies lands in one :meth:`PossessionMatrix.set_many`
+        call instead of per-block facade hops. Same idempotence and
+        epoch bookkeeping as :meth:`seed`; requires the vectorized
+        backing (the scalar dict store has no column ids).
+        """
+        matrix = self.matrix
+        if matrix is None:
+            raise RuntimeError("seed_gids requires the matrix backing")
+        try:
+            sid = matrix.server_ids[server_id]
+        except KeyError:
+            raise KeyError(f"unknown server {server_id!r}") from None
+        self.epoch += matrix.set_many(sid, gids)
 
     def record_delivery(
         self,
@@ -581,6 +650,27 @@ class PossessionIndex:
                 return 0
             return int(matrix.dc_counts[did, gid])
         return self._dc_counts.get((dc, block_id), 0)
+
+    def state_bytes(self) -> int:
+        """Approximate bytes of possession state held by this index.
+
+        Matrix backing: the exact array footprint
+        (:meth:`PossessionMatrix.state_bytes`). Dict backing: a
+        structural estimate (64 bytes per holder-set entry and per
+        DC-count entry — hash-table slots plus the interned references),
+        good enough for the relative per-shard comparisons the telemetry
+        exists for.
+        """
+        matrix = self.matrix
+        if matrix is not None:
+            return matrix.state_bytes()
+        entries = sum(len(holders) for holders in self._holders.values())
+        return 64 * (
+            entries
+            + len(self._holders)
+            + sum(len(blocks) for blocks in self._server_blocks.values())
+            + len(self._dc_counts)
+        )
 
     # -- evaluation helpers -----------------------------------------------------
 

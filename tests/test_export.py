@@ -98,7 +98,7 @@ class TestCliExport:
 
 
 class TestShardingTelemetryRoundTrip:
-    """Format v7: per-cycle sharding telemetry survives the round-trip."""
+    """Format v7/v8: per-cycle sharding telemetry survives the round-trip."""
 
     def _sharded_result(self):
         from repro.core import BDSConfig
@@ -138,6 +138,11 @@ class TestShardingTelemetryRoundTrip:
             assert s["shard_count"] == 2
             assert s["shard_max"] >= s["shard_mean"] >= 0.0
             assert s["reconcile"] >= 0.0
+            # v8: shard-local state telemetry.
+            assert s["stride"] == 1
+            assert s["state_bytes"] > 0
+            assert s["candidate_bytes"] > 0
+            assert s["payload_bytes"] >= 0
 
     def test_round_trip_preserves_shard_fields(self, tmp_path):
         from repro.analysis.export import load_result
@@ -151,6 +156,10 @@ class TestShardingTelemetryRoundTrip:
             assert back.time_shard_max == live.time_shard_max
             assert back.time_shard_mean == live.time_shard_mean
             assert back.time_reconcile == live.time_reconcile
+            assert back.shard_stride == live.shard_stride
+            assert back.shard_state_bytes == live.shard_state_bytes
+            assert back.shard_candidate_bytes == live.shard_candidate_bytes
+            assert back.shard_payload_bytes == live.shard_payload_bytes
 
     def test_v6_payload_still_readable(self, result, tmp_path):
         from repro.analysis.export import load_result

@@ -109,7 +109,10 @@ class TestSingleShardIdentity:
         assert BDSController(BDSConfig()).shard_signature is None
         assert BDSController(
             BDSConfig(shards=3, shard_seed=5, shard_stride=2)
-        ).shard_signature == (3, 5, 2)
+        ).shard_signature == (3, 5, 2, "hash")
+        assert BDSController(
+            BDSConfig(shards=3, shard_partition="affinity")
+        ).shard_signature == (3, 0, 1, "affinity")
 
 
 class TestShardedDeterminism:
@@ -202,6 +205,177 @@ class TestReconciliation:
         for decision in controller.decisions:
             assert decision.reconciled_directives <= len(decision.directives)
             assert decision.reconcile_runtime >= 0.0
+
+
+class TestShardLocalState:
+    """Partition-scoped mirrors (the default sharded decide path)."""
+
+    @pytest.mark.parametrize("shards,stride", [(2, 1), (3, 2), (4, 1)])
+    def test_mirror_matches_shared_store(self, shards, stride):
+        """shard_local_state=False (shared-store sub-views) is the PR 7
+        decide path; the mirror path must reproduce it bit-for-bit."""
+        legacy = _run(
+            shards,
+            stride=stride,
+            config=BDSConfig(
+                shards=shards, shard_stride=stride, shard_local_state=False
+            ),
+        )
+        mirror = _run(shards, stride=stride)
+        assert mirror.all_complete
+        assert _fingerprint(mirror) == _fingerprint(legacy)
+
+    def test_state_telemetry_recorded(self):
+        result = _run(3)
+        fresh = [s for s in result.cycle_stats if s.shard_count]
+        assert fresh
+        assert any(s.shard_state_bytes > 0 for s in fresh)
+        assert any(s.shard_candidate_bytes > 0 for s in fresh)
+        assert any(s.shard_payload_bytes > 0 for s in fresh)
+        assert all(s.shard_stride == 1 for s in fresh)
+
+    def test_no_state_telemetry_on_shared_store_path(self):
+        result = _run(
+            2, config=BDSConfig(shards=2, shard_local_state=False)
+        )
+        assert all(s.shard_state_bytes == 0 for s in result.cycle_stats)
+        assert all(s.shard_candidate_bytes == 0 for s in result.cycle_stats)
+
+    def test_per_shard_state_scales_down(self):
+        """At a scale past the matrix's 1024-column capacity floor, each
+        shard's possession state is a fraction of the full store's."""
+        topo = Topology.full_mesh(
+            num_dcs=5, servers_per_dc=4, wan_capacity=500 * MBps,
+            uplink=25 * MBps,
+        )
+
+        def make_jobs():
+            jobs = []
+            for j in range(8):
+                src = f"dc{j % 5}"
+                job = MulticastJob(
+                    job_id=f"big{j}",
+                    src_dc=src,
+                    dst_dcs=tuple(
+                        f"dc{i}" for i in range(5) if f"dc{i}" != src
+                    ),
+                    total_bytes=300 * 4 * MB,
+                    block_size=4 * MB,
+                )
+                job.bind(topo)
+                jobs.append(job)
+            return jobs
+
+        def run(config):
+            controller = BDSController(config)
+            sim = Simulation(
+                topology=topo,
+                jobs=make_jobs(),
+                strategy=controller,
+                config=SimConfig(max_cycles=2, event_engine=False),
+                seed=SEED,
+            )
+            try:
+                return sim.run()
+            finally:
+                controller.shutdown()
+
+        base = run(BDSConfig())
+        base_bytes = base.store.state_bytes()
+        assert base_bytes > 0
+        sharded = run(BDSConfig(shards=4, shard_partition="affinity"))
+        peak = max(s.shard_state_bytes for s in sharded.cycle_stats)
+        assert 0 < peak <= 0.5 * base_bytes
+
+
+class TestAffinityPartition:
+    @pytest.mark.parametrize("event", [False, True])
+    def test_single_shard_matches_hash(self, event):
+        """At shards=1 the partition policy is irrelevant: affinity must
+        reproduce the default-config golden fingerprint."""
+        baseline = _run(1, event=event, config=BDSConfig())
+        affinity = _run(
+            1,
+            event=event,
+            config=BDSConfig(shards=1, shard_partition="affinity"),
+        )
+        assert _fingerprint(baseline) == _fingerprint(affinity)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_deterministic(self, shards):
+        cfg = BDSConfig(shards=shards, shard_partition="affinity")
+        first = _run(shards, config=cfg)
+        second = _run(
+            shards,
+            config=BDSConfig(shards=shards, shard_partition="affinity"),
+        )
+        assert first.all_complete
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_event_matches_tick(self):
+        cfg = dict(shards=3, shard_partition="affinity")
+        assert _fingerprint(
+            _run(3, event=True, config=BDSConfig(**cfg))
+        ) == _fingerprint(_run(3, event=False, config=BDSConfig(**cfg)))
+
+    def test_process_matches_inprocess(self):
+        assert _fingerprint(
+            _run(
+                2,
+                config=BDSConfig(
+                    shards=2, shard_partition="affinity", shard_mode="process"
+                ),
+            )
+        ) == _fingerprint(
+            _run(2, config=BDSConfig(shards=2, shard_partition="affinity"))
+        )
+
+    def test_quality_within_tolerance(self):
+        base = _run(1)
+        sharded = _run(
+            3, config=BDSConfig(shards=3, shard_partition="affinity")
+        )
+        assert sharded.all_complete
+        dt = 3.0
+        for job_id, t_base in base.job_completion.items():
+            assert (
+                sharded.job_completion[job_id]
+                <= t_base + QUALITY_SLACK_CYCLES * dt
+            )
+
+
+class TestAdaptiveStride:
+    def test_auto_run_completes_with_sane_telemetry(self):
+        result = _run(
+            3, config=BDSConfig(shards=3, shard_stride="auto")
+        )
+        assert result.all_complete
+        fresh = [s for s in result.cycle_stats if s.shard_count]
+        assert fresh
+        # The effective stride is always a positive int within [1, k].
+        assert all(1 <= s.shard_stride <= 3 for s in fresh)
+
+    def test_auto_signature_tracks_effective_stride(self):
+        controller = BDSController(BDSConfig(shards=4, shard_stride="auto"))
+        # Auto mode cold-starts maximally staggered (stride = shards).
+        assert controller.shard_signature == (4, 0, 4, "hash")
+        # A stride change must change the signature (the event engine's
+        # cached decisions key on it).
+        controller._stride = 2
+        assert controller.shard_signature == (4, 0, 2, "hash")
+
+    def test_auto_quality_within_tolerance(self):
+        base = _run(1)
+        auto = _run(4, config=BDSConfig(shards=4, shard_stride="auto"))
+        assert auto.all_complete
+        dt = 3.0
+        for job_id, t_base in base.job_completion.items():
+            # Worst case the stride widens to k: same envelope as the
+            # static stride=k test below.
+            assert (
+                auto.job_completion[job_id]
+                <= t_base + (QUALITY_SLACK_CYCLES + 4) * dt
+            )
 
 
 class TestShardedQuality:
